@@ -1,0 +1,165 @@
+package csaw
+
+// One testing.B benchmark per table and figure of the paper's evaluation
+// (§10). Each benchmark regenerates the corresponding artefact with the
+// laptop-fast configuration and reports the headline quantity of that figure
+// as a custom metric, so `go test -bench=. -benchmem` doubles as the
+// reproduction harness. `go run ./cmd/csaw-bench` prints the full series.
+
+import (
+	"testing"
+	"time"
+
+	"csaw/internal/bench"
+)
+
+// benchCfg keeps individual benchmark iterations fast; the CLI runs the
+// bigger default configuration.
+func benchCfg() bench.Config {
+	return bench.Config{
+		Tick:            4 * time.Millisecond,
+		Ticks:           40,
+		Keys:            1500,
+		ValueSize:       64,
+		CheckpointEvery: 8,
+		CrashAt:         20,
+		Shards:          4,
+		CDFSamples:      300,
+		Timeout:         time.Second,
+		Seed:            1,
+	}
+}
+
+func runExperiment(b *testing.B, run func(bench.Config) (bench.Result, error), metric func(bench.Result) (float64, string)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r, err := run(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if metric != nil {
+			v, unit := metric(r)
+			b.ReportMetric(v, unit)
+		}
+	}
+}
+
+func seriesMean(r bench.Result, idx int) float64 {
+	s := r.Series[idx]
+	sum := 0.0
+	for _, y := range s.Y {
+		sum += y
+	}
+	if len(s.Y) == 0 {
+		return 0
+	}
+	return sum / float64(len(s.Y))
+}
+
+// BenchmarkFig23a regenerates Fig. 23a: Redis query rate under periodic
+// checkpointing with a crash and recovery.
+func BenchmarkFig23a(b *testing.B) {
+	runExperiment(b, bench.Fig23a, func(r bench.Result) (float64, string) {
+		return seriesMean(r, 0), "KQuery/s"
+	})
+}
+
+// BenchmarkFig23b regenerates Fig. 23b: cumulative requests per key-hash
+// shard under an uneven workload.
+func BenchmarkFig23b(b *testing.B) {
+	runExperiment(b, bench.Fig23b, func(r bench.Result) (float64, string) {
+		s := r.Series[0]
+		return s.Y[len(s.Y)-1], "KReq-shard1"
+	})
+}
+
+// BenchmarkFig23c regenerates Fig. 23c: the caching gain on skewed reads.
+func BenchmarkFig23c(b *testing.B) {
+	runExperiment(b, bench.Fig23c, func(r bench.Result) (float64, string) {
+		gain := seriesMean(r, 0) - seriesMean(r, 1)
+		return gain, "KQuery/s-gain"
+	})
+}
+
+// BenchmarkFig24a regenerates Fig. 24a: Suricata packet rate under periodic
+// checkpointing.
+func BenchmarkFig24a(b *testing.B) {
+	runExperiment(b, bench.Fig24a, func(r bench.Result) (float64, string) {
+		return seriesMean(r, 0), "KPackets/s"
+	})
+}
+
+// BenchmarkFig24b regenerates Fig. 24b: packets steered per shard by 5-tuple
+// hash.
+func BenchmarkFig24b(b *testing.B) {
+	runExperiment(b, bench.Fig24b, func(r bench.Result) (float64, string) {
+		s := r.Series[0]
+		return s.Y[len(s.Y)-1], "KPackets-shard1"
+	})
+}
+
+// BenchmarkFig24c regenerates Fig. 24c: normalized checkpointing overhead
+// including the restart spike.
+func BenchmarkFig24c(b *testing.B) {
+	runExperiment(b, bench.Fig24c, func(r bench.Result) (float64, string) {
+		max := 0.0
+		for _, y := range r.Series[0].Y {
+			if y > max {
+				max = y
+			}
+		}
+		return max, "max-overhead-x"
+	})
+}
+
+// BenchmarkFig25ab regenerates Fig. 25a/25b: cURL audit overhead on small
+// files, same-VM vs cross-VM.
+func BenchmarkFig25ab(b *testing.B) {
+	runExperiment(b, bench.Fig25ab, func(r bench.Result) (float64, string) {
+		return seriesMean(r, 4), "crossVM-overhead-%"
+	})
+}
+
+// BenchmarkFig25c regenerates Fig. 25c: the Redis GET latency CDF.
+func BenchmarkFig25c(b *testing.B) {
+	runExperiment(b, bench.Fig25c, func(r bench.Result) (float64, string) {
+		// Median baseline latency in ms.
+		s := r.Series[0]
+		return s.X[len(s.X)/2], "baseline-median-ms"
+	})
+}
+
+// BenchmarkFig26a regenerates Fig. 26a: cURL audit on large files.
+func BenchmarkFig26a(b *testing.B) {
+	runExperiment(b, bench.Fig26a, func(r bench.Result) (float64, string) {
+		s := r.Series[0]
+		return s.Y[len(s.Y)-1], "largest-file-s"
+	})
+}
+
+// BenchmarkFig26b regenerates Fig. 26b: the Redis SET latency CDF.
+func BenchmarkFig26b(b *testing.B) {
+	runExperiment(b, bench.Fig26b, func(r bench.Result) (float64, string) {
+		s := r.Series[0]
+		return s.X[len(s.X)/2], "baseline-median-ms"
+	})
+}
+
+// BenchmarkFig26c regenerates Fig. 26c: object-size sharding.
+func BenchmarkFig26c(b *testing.B) {
+	runExperiment(b, bench.Fig26c, func(r bench.Result) (float64, string) {
+		s := r.Series[0]
+		return s.Y[len(s.Y)-1], "KReq-shard1"
+	})
+}
+
+// BenchmarkTable2 regenerates Table 2: the LoC effort comparison.
+func BenchmarkTable2(b *testing.B) {
+	runExperiment(b, bench.Table2, nil)
+}
+
+// BenchmarkSuricataShardingOverhead regenerates the §10.3 sharding-overhead
+// measurement.
+func BenchmarkSuricataShardingOverhead(b *testing.B) {
+	runExperiment(b, bench.SuricataShardingOverhead, nil)
+}

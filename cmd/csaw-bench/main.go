@@ -1,0 +1,83 @@
+// Command csaw-bench regenerates the paper's evaluation tables and figures
+// (§10) and prints them as text series and tables.
+//
+// Usage:
+//
+//	csaw-bench [-full] [-run Fig23a,Fig25c] [-ticks N] [-tick 10ms] [-summary]
+//
+// Without flags it runs every experiment with the laptop-fast configuration
+// and prints full series; -summary prints per-series digests instead.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"csaw/internal/bench"
+)
+
+func main() {
+	var (
+		full    = flag.Bool("full", false, "paper-scale run (120 ticks of 100ms)")
+		run     = flag.String("run", "", "comma-separated experiment IDs (default: all)")
+		ticks   = flag.Int("ticks", 0, "override experiment length in ticks")
+		tick    = flag.Duration("tick", 0, "override tick duration (one paper-second)")
+		summary = flag.Bool("summary", false, "print per-series digests instead of full series")
+		list    = flag.Bool("list", false, "list experiment IDs and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Println(e.ID)
+		}
+		return
+	}
+
+	cfg := bench.Defaults()
+	if *full {
+		cfg.Tick = 100 * time.Millisecond
+		cfg.Ticks = 120
+		cfg.Keys = 20000
+		cfg.CDFSamples = 10000
+	}
+	if *ticks > 0 {
+		cfg.Ticks = *ticks
+	}
+	if *tick > 0 {
+		cfg.Tick = *tick
+	}
+
+	want := map[string]bool{}
+	if *run != "" {
+		for _, id := range strings.Split(*run, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+
+	failed := 0
+	for _, e := range bench.All() {
+		if len(want) > 0 && !want[e.ID] {
+			continue
+		}
+		start := time.Now()
+		r, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: FAILED: %v\n", e.ID, err)
+			failed++
+			continue
+		}
+		if *summary {
+			fmt.Print(r.Summary())
+		} else {
+			fmt.Print(r.Render())
+		}
+		fmt.Printf("(%s in %s)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

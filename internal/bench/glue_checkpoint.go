@@ -1,0 +1,111 @@
+package bench
+
+// This file is the "Redis(DSL)"-style wiring for the checkpointing feature
+// (paper Table 2): the lines needed to embed C-Saw junctions into the
+// application so the reusable Snapshot architecture (patterns/snapshot.go)
+// can drive it. The identical wiring shape is reused for mini-Suricata in
+// glue_suricata.go — the paper's reuse claim in practice.
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"csaw/internal/dsl"
+	"csaw/internal/patterns"
+	"csaw/internal/runtime"
+)
+
+// Snapshotter is anything that can capture and restore its state — the
+// typified slice of the application the snapshot architecture interfaces
+// with (mini-Redis servers and mini-Suricata engines both qualify).
+type Snapshotter interface {
+	Snapshot() ([]byte, error)
+	Restore([]byte) error
+}
+
+// CheckpointedApp runs any Snapshotter under the remote-snapshot
+// architecture: invoking Checkpoint drives Act's junction, which captures
+// the state and ships it to the Aud instance with failure handling.
+type CheckpointedApp struct {
+	sys *runtime.System
+
+	mu     sync.Mutex
+	target Snapshotter
+	snaps  [][]byte
+}
+
+// NewCheckpointedApp wires a Snapshotter into the Fig. 4 architecture.
+func NewCheckpointedApp(target Snapshotter, timeout time.Duration) (*CheckpointedApp, error) {
+	app := &CheckpointedApp{target: target}
+	prog := patterns.Snapshot(patterns.SnapshotConfig{
+		Timeout: timeout,
+		Capture: func(dsl.HostCtx) ([]byte, error) {
+			app.mu.Lock()
+			t := app.target
+			app.mu.Unlock()
+			return t.Snapshot()
+		},
+		Apply: func(_ dsl.HostCtx, img []byte) error {
+			app.mu.Lock()
+			app.snaps = append(app.snaps, append([]byte(nil), img...))
+			app.mu.Unlock()
+			return nil
+		},
+	})
+	sys, err := runtime.New(prog, runtime.Options{})
+	if err != nil {
+		return nil, err
+	}
+	if err := sys.RunMain(context.Background()); err != nil {
+		sys.Close()
+		return nil, err
+	}
+	app.sys = sys
+	return app, nil
+}
+
+// Checkpoint captures and ships one snapshot (schedules Act's junction).
+func (a *CheckpointedApp) Checkpoint(ctx context.Context) error {
+	return a.sys.Invoke(ctx, patterns.ActInstance, patterns.SnapshotJunction)
+}
+
+// SwapTarget replaces the snapshotted application (after a crash, the
+// replacement process).
+func (a *CheckpointedApp) SwapTarget(t Snapshotter) {
+	a.mu.Lock()
+	a.target = t
+	a.mu.Unlock()
+}
+
+// Recover restores the latest audited snapshot into the current target.
+func (a *CheckpointedApp) Recover() error {
+	a.mu.Lock()
+	var img []byte
+	if len(a.snaps) > 0 {
+		img = a.snaps[len(a.snaps)-1]
+	}
+	t := a.target
+	a.mu.Unlock()
+	if img == nil {
+		return ErrNoCheckpoint
+	}
+	return t.Restore(img)
+}
+
+// Snapshots reports how many checkpoints the auditor holds.
+func (a *CheckpointedApp) Snapshots() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.snaps)
+}
+
+// Close stops the architecture.
+func (a *CheckpointedApp) Close() { a.sys.Close() }
+
+// ErrNoCheckpoint is returned by Recover before any checkpoint completed.
+var ErrNoCheckpoint = errNoCheckpoint{}
+
+type errNoCheckpoint struct{}
+
+func (errNoCheckpoint) Error() string { return "bench: no checkpoint to recover from" }

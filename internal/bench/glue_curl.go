@@ -1,0 +1,90 @@
+package bench
+
+// "cURL(DSL)" wiring for the remote-auditing reconfiguration (§10.3): the
+// per-chunk hook of a download drives the *same* Fig. 4 snapshot
+// architecture used for Redis and Suricata checkpointing, shipping serialized
+// Progress records to the Aud instance. Same-VM versus cross-VM placement is
+// the link model charged per audit exchange.
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"csaw/internal/dsl"
+	"csaw/internal/minicurl"
+	"csaw/internal/patterns"
+	"csaw/internal/runtime"
+	"csaw/internal/serial"
+)
+
+// AuditedCurl downloads files while remotely auditing transfer progress.
+type AuditedCurl struct {
+	sys       *runtime.System
+	auditLink minicurl.Link
+
+	mu      sync.Mutex
+	current minicurl.Progress
+	records []minicurl.Progress
+}
+
+// NewAuditedCurl builds the auditing architecture with the given audit-path
+// link (minicurl.SameVM or minicurl.CrossVM).
+func NewAuditedCurl(auditLink minicurl.Link, timeout time.Duration) (*AuditedCurl, error) {
+	ac := &AuditedCurl{auditLink: auditLink}
+	prog := patterns.Snapshot(patterns.SnapshotConfig{
+		Timeout: timeout,
+		Capture: func(dsl.HostCtx) ([]byte, error) {
+			ac.mu.Lock()
+			defer ac.mu.Unlock()
+			return serial.Marshal(ac.current)
+		},
+		Apply: func(_ dsl.HostCtx, b []byte) error {
+			var p minicurl.Progress
+			if err := serial.Unmarshal(b, &p); err != nil {
+				return err
+			}
+			ac.mu.Lock()
+			ac.records = append(ac.records, p)
+			ac.mu.Unlock()
+			return nil
+		},
+	})
+	sys, err := runtime.New(prog, runtime.Options{})
+	if err != nil {
+		return nil, err
+	}
+	if err := sys.RunMain(context.Background()); err != nil {
+		sys.Close()
+		return nil, err
+	}
+	ac.sys = sys
+	return ac, nil
+}
+
+// Download fetches a file with per-chunk remote auditing. The returned stats
+// include both the modelled audit-link time and the real cost of driving the
+// snapshot architecture.
+func (ac *AuditedCurl) Download(ctx context.Context, srv *minicurl.Server, name string, link minicurl.Link, chunk int) (minicurl.Stats, error) {
+	return minicurl.Download(srv, name, link, chunk, func(p minicurl.Progress) (time.Duration, error) {
+		ac.mu.Lock()
+		ac.current = p
+		ac.mu.Unlock()
+		if err := ac.sys.Invoke(ctx, patterns.ActInstance, patterns.SnapshotJunction); err != nil {
+			return 0, err
+		}
+		// Charge the modelled audit-path cost: one round trip plus the
+		// serialized progress record.
+		return ac.auditLink.RTT + ac.auditLink.TransferTime(64), nil
+	})
+}
+
+// Records returns the audit trail.
+func (ac *AuditedCurl) Records() []minicurl.Progress {
+	ac.mu.Lock()
+	defer ac.mu.Unlock()
+	return append([]minicurl.Progress(nil), ac.records...)
+}
+
+// Close stops the architecture.
+func (ac *AuditedCurl) Close() { ac.sys.Close() }

@@ -1,0 +1,110 @@
+package bench
+
+// "Suricata(DSL)" wiring. The checkpointing architecture is *reused
+// verbatim* from glue_checkpoint.go — a mini-Suricata engine satisfies the
+// same Snapshotter interface, reproducing the paper's reuse finding ("the
+// same logic is applied to both Redis and Suricata", §7.3; "our prototype
+// reused reconfiguration logic between Redis and Suricata", §12). The
+// sharding wiring below adapts the key-based sharding logic into
+// packet-steering by 5-tuple (§10.1).
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"csaw/internal/dsl"
+	"csaw/internal/minisuricata"
+	"csaw/internal/patterns"
+	"csaw/internal/runtime"
+	"csaw/internal/serial"
+	"csaw/internal/workload"
+)
+
+// ShardedSuricata steers packets to N engines by 5-tuple hash through the
+// C-Saw sharding architecture.
+type ShardedSuricata struct {
+	sys     *runtime.System
+	engines []*minisuricata.Engine
+
+	mu      sync.Mutex
+	pending workload.Packet
+	verdict minisuricata.Verdict
+}
+
+// NewShardedSuricata builds the system over n fresh engines.
+func NewShardedSuricata(n int, timeout time.Duration) (*ShardedSuricata, error) {
+	ss := &ShardedSuricata{}
+	for i := 0; i < n; i++ {
+		ss.engines = append(ss.engines, minisuricata.NewDefaultEngine())
+	}
+	prog := patterns.Sharding(patterns.ShardingConfig{
+		N:       n,
+		Timeout: timeout,
+		Choose: func(dsl.HostCtx) (int, error) {
+			ss.mu.Lock()
+			defer ss.mu.Unlock()
+			return minisuricata.ShardFor(&ss.pending, n), nil
+		},
+		CaptureRequest: func(dsl.HostCtx) ([]byte, error) {
+			ss.mu.Lock()
+			defer ss.mu.Unlock()
+			return serial.Marshal(ss.pending)
+		},
+		HandleRequest: func(ctx dsl.HostCtx, req []byte) ([]byte, error) {
+			var p workload.Packet
+			if err := serial.Unmarshal(req, &p); err != nil {
+				return nil, err
+			}
+			eng := ctx.App().(*minisuricata.Engine)
+			v := eng.ProcessPacket(&p)
+			return []byte{byte(v)}, nil
+		},
+		DeliverResponse: func(_ dsl.HostCtx, b []byte) error {
+			ss.mu.Lock()
+			defer ss.mu.Unlock()
+			if len(b) == 1 {
+				ss.verdict = minisuricata.Verdict(b[0])
+			}
+			return nil
+		},
+	})
+	sys, err := runtime.New(prog, runtime.Options{})
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		sys.SetApp(patterns.BackInstance(i), ss.engines[i])
+	}
+	if err := sys.RunMain(context.Background()); err != nil {
+		sys.Close()
+		return nil, err
+	}
+	ss.sys = sys
+	return ss, nil
+}
+
+// Process steers one packet and returns the engine's verdict.
+func (ss *ShardedSuricata) Process(ctx context.Context, p workload.Packet) (minisuricata.Verdict, error) {
+	ss.mu.Lock()
+	ss.pending = p
+	ss.mu.Unlock()
+	if err := ss.sys.Invoke(ctx, patterns.FrontInstance, patterns.ShardJunction); err != nil {
+		return minisuricata.Pass, err
+	}
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return ss.verdict, nil
+}
+
+// ShardPackets returns per-engine packet counters.
+func (ss *ShardedSuricata) ShardPackets() []uint64 {
+	out := make([]uint64, len(ss.engines))
+	for i, e := range ss.engines {
+		out[i] = e.Stats().Packets
+	}
+	return out
+}
+
+// Close stops the system.
+func (ss *ShardedSuricata) Close() { ss.sys.Close() }

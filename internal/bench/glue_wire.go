@@ -1,0 +1,27 @@
+package bench
+
+// Shared wiring between the DSL glue layers: the serialized request/response
+// record that front-end and back-end junctions exchange through
+// save/write/restore. Each feature's Table-2 accounting includes this file,
+// mirroring how the paper charges the shared communication plumbing to every
+// directly-implemented feature.
+
+import "csaw/internal/serial"
+
+// wireOp is the serialized request/response format between front and backs.
+type wireOp struct {
+	Get   bool
+	Key   string
+	Value []byte
+	Found bool
+}
+
+// encodeWireOp serializes a request/response record.
+func encodeWireOp(op wireOp) ([]byte, error) { return serial.Marshal(op) }
+
+// decodeWireOp parses a request/response record.
+func decodeWireOp(b []byte) (wireOp, error) {
+	var op wireOp
+	err := serial.Unmarshal(b, &op)
+	return op, err
+}

@@ -1,0 +1,23 @@
+package bench
+
+import "math/rand"
+
+// newRng builds a deterministic RNG for an experiment.
+func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// weightedPick draws an index with the given weights.
+func weightedPick(r *rand.Rand, weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	u := r.Float64() * total
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		if u <= acc {
+			return i
+		}
+	}
+	return len(weights) - 1
+}

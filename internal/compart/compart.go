@@ -1,0 +1,287 @@
+// Package compart is the distributed runtime substrate underneath the C-Saw
+// interpreter — the Go equivalent of libcompart in the paper (§3 "Running
+// software composed using C-Saw"): a lightweight, portable runtime that
+// provides channel abstractions for communication between instances.
+//
+// The substrate exposes named endpoints connected by configurable links.
+// Links model the deployment medium: per-link latency, loss probability and
+// partitions can be injected, which the evaluation harness uses to emulate
+// "same VM" versus "cross VM" placements and transient network failures.
+// An additional TCP transport (transport.go) carries the same messages
+// across real sockets between processes.
+package compart
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Errors reported by Send.
+var (
+	// ErrEndpointDown is returned when the destination endpoint is crashed
+	// or was never registered.
+	ErrEndpointDown = errors.New("compart: endpoint down")
+	// ErrPartitioned is returned when the link between the endpoints is
+	// partitioned.
+	ErrPartitioned = errors.New("compart: link partitioned")
+	// ErrNetworkClosed is returned after Close.
+	ErrNetworkClosed = errors.New("compart: network closed")
+)
+
+// MessageKind tags the payload so receivers can dispatch without decoding.
+type MessageKind uint8
+
+// Message kinds used by the C-Saw runtime. Applications may define their own
+// above KindUser.
+const (
+	// KindProp carries an assert/retract of a proposition.
+	KindProp MessageKind = iota
+	// KindData carries a write of named data.
+	KindData
+	// KindControl carries instance lifecycle control.
+	KindControl
+	// KindUser is the first kind available to applications.
+	KindUser MessageKind = 64
+)
+
+// Message is one unit of communication between endpoints.
+type Message struct {
+	From    string
+	To      string
+	Kind    MessageKind
+	Key     string
+	Flag    bool
+	Payload []byte
+}
+
+// Handler receives delivered messages. Handlers run on the delivering
+// goroutine and must not block for long.
+type Handler func(Message)
+
+// LinkConfig describes the behaviour of a directed link.
+type LinkConfig struct {
+	// Latency delays each delivery by the given duration.
+	Latency time.Duration
+	// Jitter adds a uniformly random extra delay in [0, Jitter).
+	Jitter time.Duration
+	// DropProb is the probability in [0,1] that a message is silently lost.
+	DropProb float64
+	// Partitioned fails every Send with ErrPartitioned.
+	Partitioned bool
+}
+
+type linkKey struct{ from, to string }
+
+type endpoint struct {
+	name    string
+	handler Handler
+	up      bool
+}
+
+// Stats aggregates network-level counters.
+type Stats struct {
+	Sent      uint64
+	Delivered uint64
+	Dropped   uint64
+	Rejected  uint64
+}
+
+// Network is a set of endpoints and the links between them. It is safe for
+// concurrent use.
+type Network struct {
+	mu        sync.Mutex
+	endpoints map[string]*endpoint
+	links     map[linkKey]LinkConfig
+	def       LinkConfig
+	rng       *rand.Rand
+	closed    bool
+	stats     Stats
+	pending   sync.WaitGroup
+}
+
+// NewNetwork creates an empty network. seed makes fault injection
+// deterministic.
+func NewNetwork(seed int64) *Network {
+	return &Network{
+		endpoints: map[string]*endpoint{},
+		links:     map[linkKey]LinkConfig{},
+		rng:       rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Register creates (or revives) an endpoint with the given handler.
+func (n *Network) Register(name string, h Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.endpoints[name] = &endpoint{name: name, handler: h, up: true}
+}
+
+// Deregister removes an endpoint entirely.
+func (n *Network) Deregister(name string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.endpoints, name)
+}
+
+// Crash marks an endpoint down without removing it; Sends to it fail with
+// ErrEndpointDown until Revive.
+func (n *Network) Crash(name string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if ep, ok := n.endpoints[name]; ok {
+		ep.up = false
+	}
+}
+
+// Revive brings a crashed endpoint back up.
+func (n *Network) Revive(name string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if ep, ok := n.endpoints[name]; ok {
+		ep.up = true
+	}
+}
+
+// Up reports whether an endpoint exists and is not crashed.
+func (n *Network) Up(name string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ep, ok := n.endpoints[name]
+	return ok && ep.up
+}
+
+// Endpoints returns the names of all registered endpoints.
+func (n *Network) Endpoints() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, 0, len(n.endpoints))
+	for name := range n.endpoints {
+		out = append(out, name)
+	}
+	return out
+}
+
+// SetDefaultLink configures the link used for endpoint pairs without a
+// specific configuration.
+func (n *Network) SetDefaultLink(cfg LinkConfig) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.def = cfg
+}
+
+// SetLink configures the directed link from→to.
+func (n *Network) SetLink(from, to string, cfg LinkConfig) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.links[linkKey{from, to}] = cfg
+}
+
+// SetBidiLink configures both directions between two endpoints.
+func (n *Network) SetBidiLink(a, b string, cfg LinkConfig) {
+	n.SetLink(a, b, cfg)
+	n.SetLink(b, a, cfg)
+}
+
+// Partition severs both directions between two endpoints.
+func (n *Network) Partition(a, b string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, k := range []linkKey{{a, b}, {b, a}} {
+		cfg := n.linkLocked(k)
+		cfg.Partitioned = true
+		n.links[k] = cfg
+	}
+}
+
+// Heal removes a partition between two endpoints.
+func (n *Network) Heal(a, b string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, k := range []linkKey{{a, b}, {b, a}} {
+		cfg := n.linkLocked(k)
+		cfg.Partitioned = false
+		n.links[k] = cfg
+	}
+}
+
+func (n *Network) linkLocked(k linkKey) LinkConfig {
+	if cfg, ok := n.links[k]; ok {
+		return cfg
+	}
+	return n.def
+}
+
+// Stats returns a snapshot of the network counters.
+func (n *Network) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// Send delivers a message from→to subject to the link configuration.
+// Delivery is asynchronous when the link has latency; the error reflects
+// only conditions known at send time (down endpoint, partition, closure).
+// Dropped messages return nil — loss is silent, as on a real network.
+func (n *Network) Send(msg Message) error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return ErrNetworkClosed
+	}
+	n.stats.Sent++
+	ep, ok := n.endpoints[msg.To]
+	if !ok || !ep.up {
+		n.stats.Rejected++
+		n.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrEndpointDown, msg.To)
+	}
+	cfg := n.linkLocked(linkKey{msg.From, msg.To})
+	if cfg.Partitioned {
+		n.stats.Rejected++
+		n.mu.Unlock()
+		return fmt.Errorf("%w: %s→%s", ErrPartitioned, msg.From, msg.To)
+	}
+	if cfg.DropProb > 0 && n.rng.Float64() < cfg.DropProb {
+		n.stats.Dropped++
+		n.mu.Unlock()
+		return nil
+	}
+	delay := cfg.Latency
+	if cfg.Jitter > 0 {
+		delay += time.Duration(n.rng.Int63n(int64(cfg.Jitter)))
+	}
+	handler := ep.handler
+	n.stats.Delivered++
+	if delay <= 0 {
+		n.mu.Unlock()
+		handler(msg)
+		return nil
+	}
+	n.pending.Add(1)
+	n.mu.Unlock()
+	time.AfterFunc(delay, func() {
+		defer n.pending.Done()
+		// Re-check endpoint liveness at delivery time: a crash during
+		// flight loses the message.
+		n.mu.Lock()
+		ep, ok := n.endpoints[msg.To]
+		closed := n.closed
+		n.mu.Unlock()
+		if closed || !ok || !ep.up {
+			return
+		}
+		ep.handler(msg)
+	})
+	return nil
+}
+
+// Close shuts the network down and waits for in-flight deliveries to drain.
+func (n *Network) Close() {
+	n.mu.Lock()
+	n.closed = true
+	n.mu.Unlock()
+	n.pending.Wait()
+}

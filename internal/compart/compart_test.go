@@ -1,0 +1,414 @@
+package compart
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSendDelivers(t *testing.T) {
+	n := NewNetwork(1)
+	defer n.Close()
+	got := make(chan Message, 1)
+	n.Register("b", func(m Message) { got <- m })
+	if err := n.Send(Message{From: "a", To: "b", Kind: KindData, Key: "n", Payload: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-got:
+		if m.Key != "n" || string(m.Payload) != "x" {
+			t.Fatalf("delivered %+v", m)
+		}
+	default:
+		t.Fatal("zero-latency delivery should be synchronous")
+	}
+}
+
+func TestSendToUnknownEndpoint(t *testing.T) {
+	n := NewNetwork(1)
+	defer n.Close()
+	err := n.Send(Message{From: "a", To: "nobody"})
+	if !errors.Is(err, ErrEndpointDown) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCrashAndRevive(t *testing.T) {
+	n := NewNetwork(1)
+	defer n.Close()
+	var count atomic.Int32
+	n.Register("b", func(Message) { count.Add(1) })
+
+	n.Crash("b")
+	if n.Up("b") {
+		t.Fatal("crashed endpoint reports up")
+	}
+	if err := n.Send(Message{From: "a", To: "b"}); !errors.Is(err, ErrEndpointDown) {
+		t.Fatalf("send to crashed: %v", err)
+	}
+	n.Revive("b")
+	if !n.Up("b") {
+		t.Fatal("revived endpoint reports down")
+	}
+	if err := n.Send(Message{From: "a", To: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if count.Load() != 1 {
+		t.Fatalf("delivered %d", count.Load())
+	}
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	n := NewNetwork(1)
+	defer n.Close()
+	n.Register("a", func(Message) {})
+	n.Register("b", func(Message) {})
+	n.Partition("a", "b")
+	if err := n.Send(Message{From: "a", To: "b"}); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("partitioned send: %v", err)
+	}
+	if err := n.Send(Message{From: "b", To: "a"}); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("partition must be bidirectional: %v", err)
+	}
+	// Unrelated links unaffected.
+	n.Register("c", func(Message) {})
+	if err := n.Send(Message{From: "a", To: "c"}); err != nil {
+		t.Fatalf("unrelated link affected: %v", err)
+	}
+	n.Heal("a", "b")
+	if err := n.Send(Message{From: "a", To: "b"}); err != nil {
+		t.Fatalf("healed send: %v", err)
+	}
+}
+
+func TestDropProbability(t *testing.T) {
+	n := NewNetwork(7)
+	defer n.Close()
+	var count atomic.Int32
+	n.Register("b", func(Message) { count.Add(1) })
+	n.SetLink("a", "b", LinkConfig{DropProb: 0.5})
+	const total = 2000
+	for i := 0; i < total; i++ {
+		if err := n.Send(Message{From: "a", To: "b"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := int(count.Load())
+	if got < total*35/100 || got > total*65/100 {
+		t.Fatalf("with p=0.5 delivered %d/%d", got, total)
+	}
+	st := n.Stats()
+	if st.Sent != total || st.Dropped+st.Delivered != total {
+		t.Fatalf("stats inconsistent: %+v", st)
+	}
+}
+
+func TestLatencyDelaysDelivery(t *testing.T) {
+	n := NewNetwork(1)
+	defer n.Close()
+	got := make(chan time.Time, 1)
+	n.Register("b", func(Message) { got <- time.Now() })
+	n.SetLink("a", "b", LinkConfig{Latency: 30 * time.Millisecond})
+	start := time.Now()
+	if err := n.Send(Message{From: "a", To: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case at := <-got:
+		if d := at.Sub(start); d < 20*time.Millisecond {
+			t.Fatalf("delivered after %v, want ≥ ~30ms", d)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("message never delivered")
+	}
+}
+
+func TestCrashDuringFlightLosesMessage(t *testing.T) {
+	n := NewNetwork(1)
+	var count atomic.Int32
+	n.Register("b", func(Message) { count.Add(1) })
+	n.SetLink("a", "b", LinkConfig{Latency: 30 * time.Millisecond})
+	if err := n.Send(Message{From: "a", To: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	n.Crash("b")
+	n.Close() // waits for the in-flight delivery attempt
+	if count.Load() != 0 {
+		t.Fatal("message delivered to crashed endpoint")
+	}
+}
+
+func TestClosedNetworkRejectsSends(t *testing.T) {
+	n := NewNetwork(1)
+	n.Register("b", func(Message) {})
+	n.Close()
+	if err := n.Send(Message{From: "a", To: "b"}); !errors.Is(err, ErrNetworkClosed) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDefaultLinkApplies(t *testing.T) {
+	n := NewNetwork(3)
+	defer n.Close()
+	var count atomic.Int32
+	n.Register("b", func(Message) { count.Add(1) })
+	n.SetDefaultLink(LinkConfig{DropProb: 1})
+	for i := 0; i < 50; i++ {
+		_ = n.Send(Message{From: "a", To: "b"})
+	}
+	if count.Load() != 0 {
+		t.Fatal("default drop-all link did not apply")
+	}
+	// Specific link overrides the default.
+	n.SetLink("a", "b", LinkConfig{})
+	if err := n.Send(Message{From: "a", To: "b"}); err != nil || count.Load() != 1 {
+		t.Fatalf("override link failed: %v, %d", err, count.Load())
+	}
+}
+
+func TestConcurrentSendsRace(t *testing.T) {
+	n := NewNetwork(1)
+	defer n.Close()
+	var count atomic.Int64
+	n.Register("b", func(Message) { count.Add(1) })
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				_ = n.Send(Message{From: "a", To: "b"})
+			}
+		}()
+	}
+	wg.Wait()
+	if count.Load() != 8*500 {
+		t.Fatalf("delivered %d", count.Load())
+	}
+}
+
+func TestMessageCodecRoundTrip(t *testing.T) {
+	m := Message{
+		From: "f::junction", To: "g::junction", Kind: KindProp,
+		Key: "Work", Flag: true, Payload: []byte{0, 1, 2, 255},
+	}
+	got, err := DecodeMessage(EncodeMessage(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.From != m.From || got.To != m.To || got.Kind != m.Kind ||
+		got.Key != m.Key || got.Flag != m.Flag || string(got.Payload) != string(m.Payload) {
+		t.Fatalf("round trip: %+v != %+v", got, m)
+	}
+}
+
+func TestMessageCodecProperty(t *testing.T) {
+	f := func(from, to, key string, kind uint8, flag bool, payload []byte) bool {
+		if len(from) > 60000 || len(to) > 60000 || len(key) > 60000 {
+			return true
+		}
+		m := Message{From: from, To: to, Key: key, Kind: MessageKind(kind), Flag: flag, Payload: payload}
+		got, err := DecodeMessage(EncodeMessage(m))
+		if err != nil {
+			return false
+		}
+		return got.From == m.From && got.To == m.To && got.Key == m.Key &&
+			got.Kind == m.Kind && got.Flag == m.Flag && string(got.Payload) == string(m.Payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRejectsTruncation(t *testing.T) {
+	m := Message{From: "a", To: "b", Key: "k", Payload: []byte("payload")}
+	frame := EncodeMessage(m)
+	for cut := 0; cut < len(frame); cut++ {
+		if _, err := DecodeMessage(frame[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestTCPTransport(t *testing.T) {
+	// Remote network with a receiving endpoint.
+	remote := NewNetwork(1)
+	defer remote.Close()
+	got := make(chan Message, 1)
+	remote.Register("g::junction", func(m Message) { got <- m })
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := ServeTCP(remote, l)
+	defer srv.Close()
+
+	// Local network bridges to the remote endpoint.
+	local := NewNetwork(2)
+	defer local.Close()
+	client, err := DialTCP(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	Bridge(local, "g::junction", client)
+
+	msg := Message{From: "f::junction", To: "g::junction", Kind: KindData, Key: "n", Payload: []byte("over tcp")}
+	if err := local.Send(msg); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-got:
+		if string(m.Payload) != "over tcp" || m.From != "f::junction" {
+			t.Fatalf("received %+v", m)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("TCP message not delivered")
+	}
+}
+
+func TestTCPManyMessagesInOrder(t *testing.T) {
+	remote := NewNetwork(1)
+	defer remote.Close()
+	var mu sync.Mutex
+	var keys []string
+	done := make(chan struct{})
+	remote.Register("sink", func(m Message) {
+		mu.Lock()
+		keys = append(keys, m.Key)
+		if len(keys) == 100 {
+			close(done)
+		}
+		mu.Unlock()
+	})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := ServeTCP(remote, l)
+	defer srv.Close()
+	client, err := DialTCP(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	for i := 0; i < 100; i++ {
+		if err := client.Send(Message{To: "sink", Key: string(rune('A' + i%26))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("only %d/100 messages arrived", len(keys))
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i, k := range keys {
+		if k != string(rune('A'+i%26)) {
+			t.Fatalf("message %d out of order: %q", i, k)
+		}
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	n := NewNetwork(1)
+	defer n.Close()
+	n.Register("b", func(Message) {})
+	_ = n.Send(Message{From: "a", To: "b"})
+	_ = n.Send(Message{From: "a", To: "ghost"})
+	st := n.Stats()
+	if st.Sent != 2 || st.Delivered != 1 || st.Rejected != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDeregister(t *testing.T) {
+	n := NewNetwork(1)
+	defer n.Close()
+	n.Register("b", func(Message) {})
+	n.Deregister("b")
+	if n.Up("b") {
+		t.Fatal("deregistered endpoint reports up")
+	}
+	if got := n.Endpoints(); len(got) != 0 {
+		t.Fatalf("endpoints = %v", got)
+	}
+}
+
+// TestUnixSocketTransport: the transport is listener-agnostic — the paper's
+// libcompart wraps "TCP sockets and pipes", and Unix-domain sockets are the
+// modern pipe-like IPC. ServeTCP accepts any net.Listener.
+func TestUnixSocketTransport(t *testing.T) {
+	dir := t.TempDir()
+	sock := dir + "/compart.sock"
+	remote := NewNetwork(1)
+	defer remote.Close()
+	got := make(chan Message, 1)
+	remote.Register("g::junction", func(m Message) { got <- m })
+
+	l, err := net.Listen("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := ServeTCP(remote, l)
+	defer srv.Close()
+
+	conn, err := net.Dial("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reuse the client framing over the unix connection.
+	c := &Client{conn: conn, w: bufio.NewWriter(conn)}
+	defer c.Close()
+	if err := c.Send(Message{From: "f::junction", To: "g::junction", Kind: KindData, Key: "n", Payload: []byte("over a pipe")}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-got:
+		if string(m.Payload) != "over a pipe" {
+			t.Fatalf("received %+v", m)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("unix-socket message not delivered")
+	}
+}
+
+// TestNetPipeTransport drives the server loop over an in-memory net.Pipe —
+// the purest "pipe" channel.
+func TestNetPipeTransport(t *testing.T) {
+	remote := NewNetwork(1)
+	defer remote.Close()
+	got := make(chan Message, 1)
+	remote.Register("sink", func(m Message) { got <- m })
+
+	client, server := net.Pipe()
+	srv := &Server{net: remote, conns: map[net.Conn]bool{}}
+	srv.wg.Add(1)
+	go func() {
+		srv.mu.Lock()
+		srv.conns[server] = true
+		srv.mu.Unlock()
+		srv.serveConn(server)
+	}()
+	defer client.Close()
+
+	c := &Client{conn: client, w: bufio.NewWriter(client)}
+	if err := c.Send(Message{To: "sink", Key: "k", Payload: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-got:
+		if m.Key != "k" {
+			t.Fatalf("received %+v", m)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("pipe message not delivered")
+	}
+}

@@ -1,0 +1,247 @@
+package compart
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// The TCP transport carries Messages across real sockets, bridging two
+// Networks running in different processes (or in the same process for
+// tests). Frames are length-prefixed; the body encodes the Message fields
+// with the small codec below. This mirrors libcompart's channel wrappers
+// over OS IPC (paper §3).
+
+// maxFrame bounds a single message frame (16 MiB) to protect receivers from
+// corrupt or hostile length prefixes.
+const maxFrame = 16 << 20
+
+// EncodeMessage serializes a message into a self-delimiting byte frame
+// (excluding the outer length prefix).
+func EncodeMessage(m Message) []byte {
+	size := 1 + 1 + // kind, flag
+		varStrLen(m.From) + varStrLen(m.To) + varStrLen(m.Key) +
+		4 + len(m.Payload)
+	buf := make([]byte, 0, size)
+	buf = append(buf, byte(m.Kind))
+	if m.Flag {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = appendStr(buf, m.From)
+	buf = appendStr(buf, m.To)
+	buf = appendStr(buf, m.Key)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(m.Payload)))
+	buf = append(buf, m.Payload...)
+	return buf
+}
+
+// DecodeMessage parses a frame produced by EncodeMessage.
+func DecodeMessage(buf []byte) (Message, error) {
+	var m Message
+	if len(buf) < 2 {
+		return m, fmt.Errorf("compart: short frame (%d bytes)", len(buf))
+	}
+	m.Kind = MessageKind(buf[0])
+	m.Flag = buf[1] == 1
+	rest := buf[2:]
+	var err error
+	if m.From, rest, err = takeStr(rest); err != nil {
+		return m, err
+	}
+	if m.To, rest, err = takeStr(rest); err != nil {
+		return m, err
+	}
+	if m.Key, rest, err = takeStr(rest); err != nil {
+		return m, err
+	}
+	if len(rest) < 4 {
+		return m, fmt.Errorf("compart: truncated payload length")
+	}
+	n := binary.BigEndian.Uint32(rest)
+	rest = rest[4:]
+	if uint32(len(rest)) != n {
+		return m, fmt.Errorf("compart: payload length %d but %d bytes remain", n, len(rest))
+	}
+	if n > 0 {
+		m.Payload = append([]byte(nil), rest...)
+	}
+	return m, nil
+}
+
+func varStrLen(s string) int { return 2 + len(s) }
+
+func appendStr(buf []byte, s string) []byte {
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(s)))
+	return append(buf, s...)
+}
+
+func takeStr(buf []byte) (string, []byte, error) {
+	if len(buf) < 2 {
+		return "", nil, fmt.Errorf("compart: truncated string length")
+	}
+	n := int(binary.BigEndian.Uint16(buf))
+	buf = buf[2:]
+	if len(buf) < n {
+		return "", nil, fmt.Errorf("compart: truncated string body")
+	}
+	return string(buf[:n]), buf[n:], nil
+}
+
+func writeFrame(w io.Writer, body []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("compart: frame of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+// Server exposes a Network's endpoints over TCP. Every decoded frame is
+// injected with Network.Send, so link configuration and fault injection
+// apply to remote traffic too.
+type Server struct {
+	net *Network
+	l   net.Listener
+	wg  sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]bool
+}
+
+// ServeTCP starts accepting connections on l, delivering received messages
+// into n. The returned Server owns the listener.
+func ServeTCP(n *Network, l net.Listener) *Server {
+	s := &Server{net: n, l: l, conns: map[net.Conn]bool{}}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Addr returns the listener address.
+func (s *Server) Addr() net.Addr { return s.l.Addr() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.l.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		_ = conn.Close()
+	}()
+	r := bufio.NewReader(conn)
+	for {
+		body, err := readFrame(r)
+		if err != nil {
+			return
+		}
+		msg, err := DecodeMessage(body)
+		if err != nil {
+			return
+		}
+		// Send errors (down endpoint etc.) are invisible to the remote
+		// sender, exactly like datagram loss.
+		_ = s.net.Send(msg)
+	}
+}
+
+// Close stops the server and closes all connections.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	_ = s.l.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	s.wg.Wait()
+}
+
+// Client is a connection to a remote Network's TCP server. It implements a
+// sender-side channel: messages are framed and written to the socket.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	w    *bufio.Writer
+}
+
+// DialTCP connects to a remote compart server.
+func DialTCP(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, w: bufio.NewWriter(conn)}, nil
+}
+
+// Send frames and transmits a message to the remote network.
+func (c *Client) Send(msg Message) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeFrame(c.w, EncodeMessage(msg)); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+// Close closes the client connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn.Close()
+}
+
+// Bridge registers a local proxy endpoint that forwards to a remote network
+// over a client connection, so local senders can address remote junctions
+// transparently.
+func Bridge(local *Network, remoteEndpoint string, c *Client) {
+	local.Register(remoteEndpoint, func(m Message) {
+		_ = c.Send(m)
+	})
+}

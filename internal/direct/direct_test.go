@@ -1,0 +1,154 @@
+package direct
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"csaw/internal/miniredis"
+	"csaw/internal/workload"
+)
+
+const tmo = 500 * time.Millisecond
+
+func TestCheckpointerRoundTrip(t *testing.T) {
+	primary := miniredis.NewServer()
+	defer primary.Close()
+	c := NewCheckpointer(primary, tmo)
+	defer c.Close()
+
+	for i := 0; i < 50; i++ {
+		if err := primary.Set(fmt.Sprintf("k%d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Snapshots() != 1 {
+		t.Fatalf("snapshots = %d", c.Snapshots())
+	}
+	// Simulate a crash: recover into a fresh server.
+	replacement := miniredis.NewServer()
+	defer replacement.Close()
+	if err := c.Recover(replacement); err != nil {
+		t.Fatal(err)
+	}
+	if r := replacement.Do(miniredis.Command{Name: miniredis.CmdDBSize}); r.Int != 50 {
+		t.Fatalf("recovered dbsize = %d", r.Int)
+	}
+}
+
+func TestCheckpointerNoSnapshot(t *testing.T) {
+	primary := miniredis.NewServer()
+	defer primary.Close()
+	c := NewCheckpointer(primary, tmo)
+	defer c.Close()
+	if err := c.Recover(miniredis.NewServer()); err == nil {
+		t.Fatal("recovery without checkpoint accepted")
+	}
+}
+
+func TestShardedRedisRouting(t *testing.T) {
+	s := NewShardedRedis(4, tmo)
+	defer s.Close()
+
+	const n = 100
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("key:%06d", i)
+		if err := s.Set(key, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("key:%06d", i)
+		v, ok, err := s.Get(key)
+		if err != nil || !ok || string(v) != "v" {
+			t.Fatalf("get %s: %q %v %v", key, v, ok, err)
+		}
+	}
+	hits := s.Hits()
+	var total uint64
+	for i, h := range hits {
+		total += h
+		// Every key must have landed on its hash-designated shard.
+		if h == 0 {
+			t.Errorf("shard %d never used", i)
+		}
+	}
+	if total != 2*n {
+		t.Fatalf("total routed = %d", total)
+	}
+	// Routing is hash-stable.
+	key := "key:000042"
+	want := int(workload.Djb2(key)) % 4
+	if got := s.shardFor(key, 0, false); got != want {
+		t.Fatalf("shardFor = %d, want %d", got, want)
+	}
+}
+
+func TestShardedRedisCrashedShardFails(t *testing.T) {
+	s := NewShardedRedis(2, 100*time.Millisecond)
+	defer s.Close()
+	if err := s.Set("a", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	// Crash both shards: all requests must fail with a timely error.
+	s.CrashShard(0)
+	s.CrashShard(1)
+	start := time.Now()
+	if _, _, err := s.Get("a"); err == nil {
+		t.Fatal("crashed shard served request")
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("failure detection took %v", d)
+	}
+}
+
+func TestCachedRedis(t *testing.T) {
+	c := NewCachedRedis(tmo)
+	defer c.Close()
+	if err := c.Set("k", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	// First read misses, second hits.
+	if v, ok, err := c.Get("k"); err != nil || !ok || string(v) != "v1" {
+		t.Fatalf("get1: %q %v %v", v, ok, err)
+	}
+	if v, ok, err := c.Get("k"); err != nil || !ok || string(v) != "v1" {
+		t.Fatalf("get2: %q %v %v", v, ok, err)
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("hits=%d misses=%d", hits, misses)
+	}
+	// Writes invalidate.
+	if err := c.Set("k", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if v, _, _ := c.Get("k"); string(v) != "v2" {
+		t.Fatalf("stale cache after write: %q", v)
+	}
+}
+
+func TestEndpointDownFailsFast(t *testing.T) {
+	e := newEndpoint("x", 1)
+	e.setUp(false)
+	if err := e.send(message{kind: msgPing}, 50*time.Millisecond); err == nil {
+		t.Fatal("send to down endpoint accepted")
+	}
+	r := e.call(message{kind: msgPing}, 50*time.Millisecond)
+	if r.err == nil {
+		t.Fatal("call to down endpoint succeeded")
+	}
+}
+
+func BenchmarkDirectShardedGet(b *testing.B) {
+	s := NewShardedRedis(4, tmo)
+	defer s.Close()
+	_ = s.Set("key:000001", make([]byte, 64))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, _ = s.Get("key:000001")
+	}
+}

@@ -1,0 +1,148 @@
+package direct
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"csaw/internal/miniredis"
+)
+
+// ---------------------------------------------------------------------------
+// Feature 3: caching — hand-rolled memoizing front-end at functional parity
+// with the DSL version: request classification (cacheable or not), cache
+// look-up, backend conversation over the wire format with timeout/retry,
+// cache update, write-through invalidation and hit/miss accounting. The DSL
+// architecture expresses the coordination once in Fig. 7; here the control
+// flow, failure handling and state transitions are interleaved by hand.
+// ---------------------------------------------------------------------------
+
+// CacheClassifier decides whether a request may be served from cache (the
+// ⌊CheckCacheable⌉ equivalent).
+type CacheClassifier func(get bool, key string) bool
+
+// CachedRedis fronts one Redis instance — run as a separate socket-served
+// process — with an in-process cache, managing the backend conversation
+// manually.
+type CachedRedis struct {
+	backendSrv *wireServer
+	client     *wireClient
+	server     *miniredis.Server
+	timeout    time.Duration
+	classify   CacheClassifier
+	health     backendHealth
+
+	mu     sync.Mutex
+	cache  map[string][]byte
+	hits   uint64
+	misses uint64
+	fills  uint64
+	evicts uint64
+}
+
+// NewCachedRedis builds the caching front-end over a fresh instance with
+// the default classifier (reads are cacheable).
+func NewCachedRedis(timeout time.Duration) *CachedRedis {
+	return NewCachedRedisWith(timeout, func(get bool, key string) bool { return get })
+}
+
+// NewCachedRedisWith builds the front-end with a custom classifier.
+func NewCachedRedisWith(timeout time.Duration, classify CacheClassifier) *CachedRedis {
+	srv := miniredis.NewServer()
+	ws, err := newWireServer(shardHandler(srv))
+	if err != nil {
+		panic(fmt.Sprintf("direct: listen: %v", err))
+	}
+	wc, err := dialWire(ws.addr(), timeout)
+	if err != nil {
+		panic(fmt.Sprintf("direct: dial: %v", err))
+	}
+	return &CachedRedis{
+		backendSrv: ws,
+		client:     wc,
+		server:     srv,
+		timeout:    timeout,
+		classify:   classify,
+		cache:      map[string][]byte{},
+	}
+}
+
+// callBackend ships one request over the wire with health accounting — the
+// manual equivalent of write/assert/wait/otherwise.
+func (c *CachedRedis) callBackend(get bool, key string, value []byte) reply {
+	resp, err := c.client.call(wireOpKind, encodeShardOp(get, key, value), c.timeout)
+	if err != nil {
+		c.health.noteFailure(err)
+		return reply{err: err}
+	}
+	c.health.noteSuccess()
+	if len(resp) == 0 || resp[0] == 0 {
+		return reply{found: false}
+	}
+	return reply{found: true, value: resp[1:]}
+}
+
+// Get classifies, consults the cache, falls through to the backend on a
+// miss, and fills the cache with the result.
+func (c *CachedRedis) Get(key string) ([]byte, bool, error) {
+	cacheable := c.classify(true, key)
+	if cacheable {
+		c.mu.Lock()
+		if v, ok := c.cache[key]; ok {
+			c.hits++
+			c.mu.Unlock()
+			return v, true, nil
+		}
+		c.misses++
+		c.mu.Unlock()
+	}
+	r := c.callBackend(true, key, nil)
+	if r.err != nil {
+		return nil, false, r.err
+	}
+	if cacheable && r.found {
+		c.mu.Lock()
+		c.cache[key] = r.value
+		c.fills++
+		c.mu.Unlock()
+	}
+	return r.value, r.found, r.err
+}
+
+// Set writes through and invalidates the memoized entry.
+func (c *CachedRedis) Set(key string, value []byte) error {
+	r := c.callBackend(false, key, value)
+	if r.err == nil {
+		c.mu.Lock()
+		if _, ok := c.cache[key]; ok {
+			delete(c.cache, key)
+			c.evicts++
+		}
+		c.mu.Unlock()
+	}
+	return r.err
+}
+
+// Stats returns cache hit/miss counts.
+func (c *CachedRedis) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// FillEvictStats returns fill/eviction counts.
+func (c *CachedRedis) FillEvictStats() (fills, evicts uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.fills, c.evicts
+}
+
+// BackendSuspected reports the health monitor's view of the Fun instance.
+func (c *CachedRedis) BackendSuspected() bool { return c.health.isSuspected() }
+
+// Close tears the front-end down.
+func (c *CachedRedis) Close() {
+	c.client.close()
+	c.backendSrv.close()
+	c.server.Close()
+}

@@ -1,0 +1,126 @@
+package direct
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"csaw/internal/miniredis"
+)
+
+// ---------------------------------------------------------------------------
+// Feature 1: checkpointing — hand-rolled equivalent of the DSL's remote
+// snapshot architecture.
+// ---------------------------------------------------------------------------
+
+// Checkpointer periodically snapshots a Redis instance to an auditor
+// endpoint, with manual liveness tracking, retry and recovery support.
+type Checkpointer struct {
+	mu        sync.Mutex
+	primary   *endpoint
+	auditor   *endpoint
+	auditSrv  *auditStore
+	timeout   time.Duration
+	lastErr   error
+	snapCount int
+}
+
+// auditStore is the auditor-side state: the remotely-logged snapshots.
+type auditStore struct {
+	mu    sync.Mutex
+	snaps [][]byte
+}
+
+func (a *auditStore) add(img []byte) {
+	a.mu.Lock()
+	a.snaps = append(a.snaps, append([]byte(nil), img...))
+	a.mu.Unlock()
+}
+
+func (a *auditStore) last() []byte {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.snaps) == 0 {
+		return nil
+	}
+	return a.snaps[len(a.snaps)-1]
+}
+
+// NewCheckpointer wires a primary Redis to an auditor.
+func NewCheckpointer(primary *miniredis.Server, timeout time.Duration) *Checkpointer {
+	c := &Checkpointer{
+		primary:  newEndpoint("primary", 64),
+		auditor:  newEndpoint("auditor", 64),
+		auditSrv: &auditStore{},
+		timeout:  timeout,
+	}
+	c.primary.serve(primary)
+	// The auditor worker stores whatever snapshots arrive.
+	c.auditor.wg.Add(1)
+	go func() {
+		defer c.auditor.wg.Done()
+		for m := range c.auditor.inbox {
+			if m.kind == msgSnapshot {
+				c.auditSrv.add(m.value)
+				if m.resp != nil {
+					m.resp <- reply{found: true}
+				}
+			}
+		}
+	}()
+	return c
+}
+
+// Checkpoint captures a snapshot from the primary and ships it to the
+// auditor, retrying once on failure.
+func (c *Checkpointer) Checkpoint() error {
+	r := c.primary.call(message{kind: msgSnapshot}, c.timeout)
+	if r.err != nil {
+		c.noteErr(r.err)
+		return r.err
+	}
+	ship := c.auditor.call(message{kind: msgSnapshot, value: r.value}, c.timeout)
+	if ship.err != nil {
+		c.noteErr(ship.err)
+		return ship.err
+	}
+	c.mu.Lock()
+	c.snapCount++
+	c.mu.Unlock()
+	return nil
+}
+
+// Recover restores the latest audited snapshot into a replacement server.
+func (c *Checkpointer) Recover(replacement *miniredis.Server) error {
+	img := c.auditSrv.last()
+	if img == nil {
+		return fmt.Errorf("direct: no checkpoint to recover from")
+	}
+	return replacement.Restore(img)
+}
+
+// Snapshots returns how many checkpoints completed.
+func (c *Checkpointer) Snapshots() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.snapCount
+}
+
+func (c *Checkpointer) noteErr(err error) {
+	c.mu.Lock()
+	c.lastErr = err
+	c.mu.Unlock()
+}
+
+// LastErr returns the most recent failure.
+func (c *Checkpointer) LastErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastErr
+}
+
+// Close shuts both endpoints down.
+func (c *Checkpointer) Close() {
+	c.primary.close()
+	c.auditor.close()
+}

@@ -1,0 +1,299 @@
+package direct
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"time"
+
+	"csaw/internal/miniredis"
+	"csaw/internal/workload"
+)
+
+// ---------------------------------------------------------------------------
+// Feature 2: sharding — hand-rolled N-way front-end, at functional parity
+// with the DSL version: wire-format serialization between front and back
+// instances, both sharding types of §5.2 (key hash and object-size classes),
+// per-backend health monitoring with failure detection, and routing
+// statistics. The DSL architecture gets all of this from the pattern plus a
+// chooser closure; here it is re-implemented by hand.
+// ---------------------------------------------------------------------------
+
+// ShardMode selects the routing policy.
+type ShardMode int
+
+// Sharding modes of §5.2.
+const (
+	// ShardByKey hashes the key with djb2.
+	ShardByKey ShardMode = iota
+	// ShardBySize quantizes object sizes into the paper's classes.
+	ShardBySize
+)
+
+// encodeShardOp serializes a request the way a cross-process deployment
+// must (the DSL version gets this from save/write).
+func encodeShardOp(get bool, key string, value []byte) []byte {
+	buf := make([]byte, 0, 1+2+len(key)+4+len(value))
+	if get {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(key)))
+	buf = append(buf, key...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(value)))
+	buf = append(buf, value...)
+	return buf
+}
+
+// decodeShardOp parses a request frame.
+func decodeShardOp(buf []byte) (get bool, key string, value []byte, err error) {
+	if len(buf) < 3 {
+		return false, "", nil, fmt.Errorf("direct: short shard frame")
+	}
+	get = buf[0] == 1
+	kl := int(binary.BigEndian.Uint16(buf[1:]))
+	buf = buf[3:]
+	if len(buf) < kl+4 {
+		return false, "", nil, fmt.Errorf("direct: truncated shard key")
+	}
+	key = string(buf[:kl])
+	buf = buf[kl:]
+	vl := int(binary.BigEndian.Uint32(buf))
+	buf = buf[4:]
+	if len(buf) < vl {
+		return false, "", nil, fmt.Errorf("direct: truncated shard value")
+	}
+	if vl > 0 {
+		value = append([]byte(nil), buf[:vl]...)
+	}
+	return get, key, value, nil
+}
+
+// backendHealth tracks liveness decisions for one shard — the hand-rolled
+// equivalent of the DSL's S(x) guards and ActiveBackend bookkeeping.
+type backendHealth struct {
+	mu        sync.Mutex
+	failures  int
+	lastErr   error
+	suspected bool
+}
+
+func (h *backendHealth) noteSuccess() {
+	h.mu.Lock()
+	h.failures = 0
+	h.suspected = false
+	h.mu.Unlock()
+}
+
+func (h *backendHealth) noteFailure(err error) {
+	h.mu.Lock()
+	h.failures++
+	h.lastErr = err
+	if h.failures >= 2 {
+		h.suspected = true
+	}
+	h.mu.Unlock()
+}
+
+func (h *backendHealth) isSuspected() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.suspected
+}
+
+// ShardedRedis routes requests to N Redis instances — run as separate
+// socket-served processes, as in the paper's deployment — by key hash or
+// object size, with per-backend liveness tracking and failure reporting.
+type ShardedRedis struct {
+	backendSrvs []*wireServer
+	clients     []*wireClient
+	servers     []*miniredis.Server
+	health      []*backendHealth
+	timeout     time.Duration
+	mode        ShardMode
+	classes     []workload.SizeClass
+
+	mu    sync.Mutex
+	hits  []uint64
+	sizes map[string]int // front-side key→size table for size sharding
+
+	pingStop chan struct{}
+	pingWG   sync.WaitGroup
+}
+
+// NewShardedRedis builds the front-end over n fresh instances with key-hash
+// routing.
+func NewShardedRedis(n int, timeout time.Duration) *ShardedRedis {
+	return NewShardedRedisMode(n, ShardByKey, timeout)
+}
+
+// NewShardedRedisMode builds the front-end with an explicit routing mode.
+func NewShardedRedisMode(n int, mode ShardMode, timeout time.Duration) *ShardedRedis {
+	s := &ShardedRedis{
+		timeout:  timeout,
+		mode:     mode,
+		classes:  workload.PaperSizeClasses(),
+		hits:     make([]uint64, n),
+		sizes:    map[string]int{},
+		pingStop: make(chan struct{}),
+	}
+	for i := 0; i < n; i++ {
+		srv := miniredis.NewServer()
+		ws, err := newWireServer(shardHandler(srv))
+		if err != nil {
+			panic(fmt.Sprintf("direct: listen: %v", err))
+		}
+		wc, err := dialWire(ws.addr(), timeout)
+		if err != nil {
+			panic(fmt.Sprintf("direct: dial: %v", err))
+		}
+		s.servers = append(s.servers, srv)
+		s.backendSrvs = append(s.backendSrvs, ws)
+		s.clients = append(s.clients, wc)
+		s.health = append(s.health, &backendHealth{})
+	}
+	// Health monitor: periodic pings keep the suspected set fresh.
+	s.pingWG.Add(1)
+	go func() {
+		defer s.pingWG.Done()
+		ticker := time.NewTicker(timeout)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-s.pingStop:
+				return
+			case <-ticker.C:
+				for i, wc := range s.clients {
+					if _, err := wc.call(wirePing, nil, s.timeout); err != nil {
+						s.health[i].noteFailure(err)
+					} else {
+						s.health[i].noteSuccess()
+					}
+				}
+			}
+		}
+	}()
+	return s
+}
+
+// wire kinds for the socket protocol.
+const (
+	wireOpKind = 1
+	wirePing   = 2
+)
+
+// shardHandler serves decoded operations against a backend server.
+func shardHandler(srv *miniredis.Server) func(kind byte, body []byte) []byte {
+	return func(kind byte, body []byte) []byte {
+		if kind == wirePing {
+			return []byte{1}
+		}
+		get, key, value, err := decodeShardOp(body)
+		if err != nil {
+			return []byte{0}
+		}
+		if get {
+			v, ok, err := srv.Get(key)
+			if err != nil || !ok {
+				return []byte{0}
+			}
+			return append([]byte{1}, v...)
+		}
+		if err := srv.Set(key, value); err != nil {
+			return []byte{0}
+		}
+		return []byte{1}
+	}
+}
+
+// shardFor routes a key (and, for writes, its value size) to a shard.
+func (s *ShardedRedis) shardFor(key string, valueSize int, isWrite bool) int {
+	if s.mode == ShardBySize {
+		s.mu.Lock()
+		size, known := s.sizes[key]
+		if isWrite {
+			size, known = valueSize, true
+			s.sizes[key] = valueSize
+		}
+		s.mu.Unlock()
+		if known {
+			for i, c := range s.classes {
+				if size <= c.MaxBytes {
+					return i % len(s.servers)
+				}
+			}
+			return (len(s.classes) - 1) % len(s.servers)
+		}
+	}
+	return int(workload.Djb2(key)) % len(s.servers)
+}
+
+// route serializes, ships and decodes one request with health accounting.
+func (s *ShardedRedis) route(shard int, get bool, key string, value []byte) reply {
+	s.count(shard)
+	resp, err := s.clients[shard].call(wireOpKind, encodeShardOp(get, key, value), s.timeout)
+	if err != nil {
+		s.health[shard].noteFailure(err)
+		return reply{err: err}
+	}
+	s.health[shard].noteSuccess()
+	if len(resp) == 0 || resp[0] == 0 {
+		return reply{found: false}
+	}
+	return reply{found: true, value: resp[1:]}
+}
+
+// Get routes a read.
+func (s *ShardedRedis) Get(key string) ([]byte, bool, error) {
+	i := s.shardFor(key, 0, false)
+	r := s.route(i, true, key, nil)
+	return r.value, r.found, r.err
+}
+
+// Set routes a write.
+func (s *ShardedRedis) Set(key string, value []byte) error {
+	i := s.shardFor(key, len(value), true)
+	r := s.route(i, false, key, value)
+	return r.err
+}
+
+func (s *ShardedRedis) count(i int) {
+	s.mu.Lock()
+	s.hits[i]++
+	s.mu.Unlock()
+}
+
+// Hits returns per-shard request counts.
+func (s *ShardedRedis) Hits() []uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]uint64(nil), s.hits...)
+}
+
+// Suspected reports which backends the health monitor considers down.
+func (s *ShardedRedis) Suspected() []bool {
+	out := make([]bool, len(s.health))
+	for i, h := range s.health {
+		out[i] = h.isSuspected()
+	}
+	return out
+}
+
+// CrashShard kills one backend process (its listener and connections die).
+func (s *ShardedRedis) CrashShard(i int) { s.backendSrvs[i].close() }
+
+// Close tears everything down.
+func (s *ShardedRedis) Close() {
+	close(s.pingStop)
+	s.pingWG.Wait()
+	for _, wc := range s.clients {
+		wc.close()
+	}
+	for _, ws := range s.backendSrvs {
+		ws.close()
+	}
+	for _, srv := range s.servers {
+		srv.Close()
+	}
+}

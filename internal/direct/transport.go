@@ -1,0 +1,225 @@
+package direct
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// ---------------------------------------------------------------------------
+// Hand-rolled socket transport. The paper's direct re-architectures ran
+// against separate Redis processes, so the control implementation must pay
+// for real inter-instance communication: connection management, framing,
+// request/response correlation and timeout handling — everything the
+// DSL-based systems inherit from the libcompart-equivalent runtime.
+// ---------------------------------------------------------------------------
+
+// frame layout: 8-byte correlation id, 1-byte kind, then encodeShardOp body.
+func writeDirectFrame(w io.Writer, id uint64, kind byte, body []byte) error {
+	var hdr [13]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(9+len(body)))
+	binary.BigEndian.PutUint64(hdr[4:12], id)
+	hdr[12] = kind
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+func readDirectFrame(r io.Reader) (id uint64, kind byte, body []byte, err error) {
+	var lenb [4]byte
+	if _, err = io.ReadFull(r, lenb[:]); err != nil {
+		return
+	}
+	n := binary.BigEndian.Uint32(lenb[:])
+	if n < 9 || n > 32<<20 {
+		err = fmt.Errorf("direct: bad frame length %d", n)
+		return
+	}
+	buf := make([]byte, n)
+	if _, err = io.ReadFull(r, buf); err != nil {
+		return
+	}
+	id = binary.BigEndian.Uint64(buf[0:8])
+	kind = buf[8]
+	body = buf[9:]
+	return
+}
+
+// wireServer exposes a request handler over a TCP listener.
+type wireServer struct {
+	l      net.Listener
+	handle func(kind byte, body []byte) []byte
+	wg     sync.WaitGroup
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]bool
+}
+
+func newWireServer(handle func(kind byte, body []byte) []byte) (*wireServer, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	ws := &wireServer{l: l, handle: handle, conns: map[net.Conn]bool{}}
+	ws.wg.Add(1)
+	go ws.accept()
+	return ws, nil
+}
+
+func (ws *wireServer) addr() string { return ws.l.Addr().String() }
+
+func (ws *wireServer) accept() {
+	defer ws.wg.Done()
+	for {
+		conn, err := ws.l.Accept()
+		if err != nil {
+			return
+		}
+		ws.mu.Lock()
+		if ws.closed {
+			ws.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		ws.conns[conn] = true
+		ws.mu.Unlock()
+		ws.wg.Add(1)
+		go ws.serveConn(conn)
+	}
+}
+
+func (ws *wireServer) serveConn(conn net.Conn) {
+	defer ws.wg.Done()
+	defer func() {
+		ws.mu.Lock()
+		delete(ws.conns, conn)
+		ws.mu.Unlock()
+		_ = conn.Close()
+	}()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		id, kind, body, err := readDirectFrame(r)
+		if err != nil {
+			return
+		}
+		resp := ws.handle(kind, body)
+		if err := writeDirectFrame(w, id, kind, resp); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func (ws *wireServer) close() {
+	ws.mu.Lock()
+	ws.closed = true
+	conns := make([]net.Conn, 0, len(ws.conns))
+	for c := range ws.conns {
+		conns = append(conns, c)
+	}
+	ws.mu.Unlock()
+	_ = ws.l.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	ws.wg.Wait()
+}
+
+// wireClient correlates concurrent requests over one connection.
+type wireClient struct {
+	mu      sync.Mutex
+	conn    net.Conn
+	w       *bufio.Writer
+	nextID  uint64
+	pending map[uint64]chan []byte
+	readErr error
+	done    chan struct{}
+}
+
+func dialWire(addr string, timeout time.Duration) (*wireClient, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	wc := &wireClient{
+		conn:    conn,
+		w:       bufio.NewWriter(conn),
+		pending: map[uint64]chan []byte{},
+		done:    make(chan struct{}),
+	}
+	go wc.readLoop()
+	return wc, nil
+}
+
+func (wc *wireClient) readLoop() {
+	r := bufio.NewReader(wc.conn)
+	for {
+		id, _, body, err := readDirectFrame(r)
+		if err != nil {
+			wc.mu.Lock()
+			wc.readErr = err
+			for _, ch := range wc.pending {
+				close(ch)
+			}
+			wc.pending = map[uint64]chan []byte{}
+			wc.mu.Unlock()
+			close(wc.done)
+			return
+		}
+		wc.mu.Lock()
+		ch, ok := wc.pending[id]
+		delete(wc.pending, id)
+		wc.mu.Unlock()
+		if ok {
+			ch <- body
+		}
+	}
+}
+
+// call performs one correlated request with a deadline.
+func (wc *wireClient) call(kind byte, body []byte, timeout time.Duration) ([]byte, error) {
+	wc.mu.Lock()
+	if wc.readErr != nil {
+		wc.mu.Unlock()
+		return nil, wc.readErr
+	}
+	wc.nextID++
+	id := wc.nextID
+	ch := make(chan []byte, 1)
+	wc.pending[id] = ch
+	err := writeDirectFrame(wc.w, id, kind, body)
+	if err == nil {
+		err = wc.w.Flush()
+	}
+	wc.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			return nil, fmt.Errorf("direct: connection lost")
+		}
+		return resp, nil
+	case <-timer.C:
+		wc.mu.Lock()
+		delete(wc.pending, id)
+		wc.mu.Unlock()
+		return nil, fmt.Errorf("direct: call timed out after %s", timeout)
+	case <-wc.done:
+		return nil, fmt.Errorf("direct: connection closed")
+	}
+}
+
+func (wc *wireClient) close() { _ = wc.conn.Close() }

@@ -1,0 +1,143 @@
+package dsl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Edge is one directed communication path between two fully-qualified
+// junctions ("inst::junction" → "inst::junction").
+type Edge struct {
+	From string
+	To   string
+}
+
+// Topology is the directed graph produced by the paper's Topo function
+// (§8.7): nodes are junctions, edges indicate communication from one
+// junction to another via assert/retract/write.
+type Topology struct {
+	Nodes []string
+	Edges []Edge
+}
+
+// Topo computes the communication topology of a program by analyzing the
+// syntax of every junction's DSL expression, per §8.7:
+//
+//	Topo = ⋃_{ι∈Instances} ⋃_{γ∈Junctions(ι)} {(γ,γ′) | γ′ ∈ Topoγ(Eγ)}
+//
+// Targets referenced through an idx variable contribute one edge per element
+// of the idx's underlying set (the static over-approximation of the runtime
+// choice function).
+func Topo(p *Program) Topology {
+	nodeSet := map[string]bool{}
+	edgeSet := map[Edge]bool{}
+
+	for _, inst := range p.InstanceNames() {
+		tn := p.Instances[inst]
+		t, ok := p.Types[tn]
+		if !ok {
+			continue
+		}
+		for _, jn := range t.JunctionNames() {
+			def := t.Junctions[jn]
+			from := inst + "::" + jn
+			nodeSet[from] = true
+			di := collectDecls(def)
+			WalkBody(def.Body, func(e Expr) {
+				var ref JunctionRef
+				switch n := e.(type) {
+				case Write:
+					ref = n.To
+				case Assert:
+					ref = n.Target
+				case Retract:
+					ref = n.Target
+				default:
+					return
+				}
+				for _, to := range resolveTargets(p, inst, jn, di, ref) {
+					nodeSet[to] = true
+					edgeSet[Edge{From: from, To: to}] = true
+				}
+			})
+		}
+	}
+
+	topo := Topology{}
+	for n := range nodeSet {
+		topo.Nodes = append(topo.Nodes, n)
+	}
+	sort.Strings(topo.Nodes)
+	for e := range edgeSet {
+		topo.Edges = append(topo.Edges, e)
+	}
+	sort.Slice(topo.Edges, func(i, j int) bool {
+		if topo.Edges[i].From != topo.Edges[j].From {
+			return topo.Edges[i].From < topo.Edges[j].From
+		}
+		return topo.Edges[i].To < topo.Edges[j].To
+	})
+	return topo
+}
+
+// resolveTargets statically resolves a junction reference to the set of
+// possible fully-qualified targets, given the containing instance.
+func resolveTargets(p *Program, inst, jn string, di declInfo, ref JunctionRef) []string {
+	switch {
+	case ref.IsLocal(), ref.MeJunction:
+		return nil // local update: no communication edge
+	case ref.MeInstance:
+		return []string{inst + "::" + ref.Junction}
+	case ref.Idx != "":
+		setName, ok := di.idxs[ref.Idx]
+		if !ok {
+			setName = ref.Idx // a subset iterated by for, or direct set ref
+		}
+		elems, ok := di.setElems(setName)
+		if !ok {
+			return nil
+		}
+		var out []string
+		for _, e := range elems {
+			if i, j, err := resolveElemJunction(p, e); err == nil {
+				out = append(out, i+"::"+j)
+			}
+		}
+		return out
+	default:
+		j := ref.Junction
+		if j == "" {
+			if _, only, err := resolveElemJunction(p, ref.Instance); err == nil {
+				j = only
+			} else {
+				return nil
+			}
+		}
+		return []string{ref.Instance + "::" + j}
+	}
+}
+
+// Dot renders the topology in Graphviz DOT format.
+func (t Topology) Dot() string {
+	var b strings.Builder
+	b.WriteString("digraph topology {\n  rankdir=LR;\n")
+	for _, n := range t.Nodes {
+		fmt.Fprintf(&b, "  %q;\n", n)
+	}
+	for _, e := range t.Edges {
+		fmt.Fprintf(&b, "  %q -> %q;\n", e.From, e.To)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// HasEdge reports whether the topology contains the given edge.
+func (t Topology) HasEdge(from, to string) bool {
+	for _, e := range t.Edges {
+		if e.From == from && e.To == to {
+			return true
+		}
+	}
+	return false
+}

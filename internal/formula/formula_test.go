@@ -1,0 +1,252 @@
+package formula
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTruthTables(t *testing.T) {
+	cases := []struct {
+		name string
+		got  Truth
+		want Truth
+	}{
+		{"not true", True.Not(), False},
+		{"not false", False.Not(), True},
+		{"not unknown", Unknown.Not(), Unknown},
+		{"t and t", True.And(True), True},
+		{"t and f", True.And(False), False},
+		{"f and u", False.And(Unknown), False},
+		{"t and u", True.And(Unknown), Unknown},
+		{"u and u", Unknown.And(Unknown), Unknown},
+		{"t or f", True.Or(False), True},
+		{"f or f", False.Or(False), False},
+		{"t or u", True.Or(Unknown), True},
+		{"f or u", False.Or(Unknown), Unknown},
+		{"u or u", Unknown.Or(Unknown), Unknown},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("%s: got %v want %v", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestTruthString(t *testing.T) {
+	if True.String() != "tt" || False.String() != "ff" || Unknown.String() != "??" {
+		t.Fatalf("bad truth strings: %v %v %v", True, False, Unknown)
+	}
+}
+
+func TestEvalBasic(t *testing.T) {
+	env := MapEnv{"Work": true, "Retried": false}
+	cases := []struct {
+		f    Formula
+		want Truth
+	}{
+		{P("Work"), True},
+		{P("Retried"), False},
+		{P("Missing"), Unknown},
+		{Not(P("Work")), False},
+		{And(P("Work"), Not(P("Retried"))), True},
+		{Or(P("Retried"), P("Work")), True},
+		{Implies(P("Work"), P("Retried")), False},
+		{Implies(P("Retried"), P("Work")), True},
+		{FalseF{}, False},
+		{TrueF(), True},
+		{At("other", "Work"), Unknown}, // MapEnv has no remote junctions.
+	}
+	for _, c := range cases {
+		if got := c.f.Eval(env); got != c.want {
+			t.Errorf("%s: got %v want %v", c.f, got, c.want)
+		}
+	}
+}
+
+func TestEnvFunc(t *testing.T) {
+	env := EnvFunc(func(j, n string) Truth {
+		if j == "g" && n == "Work" {
+			return True
+		}
+		return False
+	})
+	if got := At("g", "Work").Eval(env); got != True {
+		t.Fatalf("remote prop: got %v", got)
+	}
+	if got := P("Work").Eval(env); got != False {
+		t.Fatalf("local prop: got %v", got)
+	}
+}
+
+func TestProps(t *testing.T) {
+	f := And(P("B"), Or(Not(P("A")), At("g", "A")))
+	ps := Props(f)
+	want := []Prop{P("A"), P("B"), At("g", "A")}
+	if len(ps) != len(want) {
+		t.Fatalf("got %d props %v, want %d", len(ps), ps, len(want))
+	}
+	for i := range want {
+		if ps[i] != want[i] {
+			t.Errorf("props[%d] = %v, want %v", i, ps[i], want[i])
+		}
+	}
+}
+
+func TestPropsDedupe(t *testing.T) {
+	f := And(P("A"), P("A"), Not(P("A")))
+	if got := Props(f); len(got) != 1 {
+		t.Fatalf("got %v, want single A", got)
+	}
+}
+
+func TestToDNFShapes(t *testing.T) {
+	cases := []struct {
+		f       Formula
+		clauses int
+	}{
+		{P("A"), 1},
+		{FalseF{}, 0},
+		{TrueF(), 1},
+		{Not(And(P("A"), P("B"))), 2},        // ¬A ∨ ¬B
+		{And(Or(P("A"), P("B")), P("C")), 2}, // AC ∨ BC
+		{Implies(P("A"), P("B")), 2},         // ¬A ∨ B
+		{And(P("A"), Not(P("A"))), 0},        // contradiction dropped
+		{Or(P("A"), P("A")), 1},              // duplicate clause dropped
+		{And(P("A"), P("A")), 1},             // duplicate literal merged
+		{Not(Or(P("A"), Not(P("B")))), 1},    // ¬A ∧ B
+		{Or(And(P("A"), P("B")), Not(P("C"))), 2},
+	}
+	for _, c := range cases {
+		d := ToDNF(c.f)
+		if len(d) != c.clauses {
+			t.Errorf("%s: got %d clauses (%s), want %d", c.f, len(d), d, c.clauses)
+		}
+	}
+}
+
+func TestToDNFLiteralMerge(t *testing.T) {
+	d := ToDNF(And(P("A"), P("A"), P("B")))
+	if len(d) != 1 || len(d[0]) != 2 {
+		t.Fatalf("got %s, want one clause of two literals", d)
+	}
+}
+
+// randomFormula builds a random formula over props A..D with bounded depth.
+func randomFormula(r *rand.Rand, depth int) Formula {
+	names := []string{"A", "B", "C", "D"}
+	if depth <= 0 || r.Intn(4) == 0 {
+		if r.Intn(8) == 0 {
+			return FalseF{}
+		}
+		return P(names[r.Intn(len(names))])
+	}
+	switch r.Intn(4) {
+	case 0:
+		return Not(randomFormula(r, depth-1))
+	case 1:
+		return And(randomFormula(r, depth-1), randomFormula(r, depth-1))
+	case 2:
+		return Or(randomFormula(r, depth-1), randomFormula(r, depth-1))
+	default:
+		return Implies(randomFormula(r, depth-1), randomFormula(r, depth-1))
+	}
+}
+
+// TestDNFEquivalenceProperty checks, over random formulas and random total
+// environments, that ToDNF preserves the formula's truth value. This is the
+// key invariant the wait/guard machinery relies on.
+func TestDNFEquivalenceProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		f := randomFormula(r, 4)
+		d := ToDNF(f)
+		env := MapEnv{
+			"A": r.Intn(2) == 0,
+			"B": r.Intn(2) == 0,
+			"C": r.Intn(2) == 0,
+			"D": r.Intn(2) == 0,
+		}
+		if got, want := d.Eval(env), f.Eval(env); got != want {
+			t.Fatalf("iteration %d: formula %s env %v: DNF %s evaluates to %v, formula to %v",
+				i, f, env, d, got, want)
+		}
+	}
+}
+
+// TestKleeneDeMorganProperty checks De Morgan duality of the ternary
+// connectives with testing/quick.
+func TestKleeneDeMorganProperty(t *testing.T) {
+	truths := []Truth{False, True, Unknown}
+	f := func(a, b uint8) bool {
+		x, y := truths[a%3], truths[b%3]
+		return x.And(y).Not() == x.Not().Or(y.Not()) &&
+			x.Or(y).Not() == x.Not().And(y.Not())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestKleeneMonotonicityProperty: resolving an Unknown to a definite value
+// never flips a definite result — the monotonicity that makes ternary guard
+// evaluation sound.
+func TestKleeneMonotonicityProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		f := randomFormula(r, 4)
+		partial := map[string]Truth{}
+		for _, n := range []string{"A", "B", "C", "D"} {
+			partial[n] = []Truth{False, True, Unknown}[r.Intn(3)]
+		}
+		env := EnvFunc(func(j, n string) Truth { return partial[n] })
+		got := f.Eval(env)
+		if got == Unknown {
+			continue
+		}
+		// Refine every Unknown both ways; result must not change.
+		for _, fill := range []bool{false, true} {
+			refined := EnvFunc(func(j, n string) Truth {
+				if partial[n] == Unknown {
+					return FromBool(fill)
+				}
+				return partial[n]
+			})
+			if f.Eval(refined) != got {
+				t.Fatalf("formula %s: definite value %v changed after refining unknowns (fill=%v)", f, got, fill)
+			}
+		}
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	f := And(Not(P("Work")), Or(At("g", "Active"), FalseF{}))
+	s := f.String()
+	for _, sub := range []string{"¬Work", "g@Active", "false", "∧", "∨"} {
+		if !contains(s, sub) {
+			t.Errorf("String() = %q missing %q", s, sub)
+		}
+	}
+}
+
+func TestClauseAndDNFString(t *testing.T) {
+	if (Clause{}).String() != "⊤" {
+		t.Errorf("empty clause should render ⊤")
+	}
+	if (DNF{}).String() != "false" {
+		t.Errorf("empty DNF should render false")
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 || indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,420 @@
+// Package kv implements the per-junction key-value table at the heart of
+// C-Saw (paper §3, §6 "Distributed Key-Value (KV) table" and §8 "Local
+// priority" rule).
+//
+// Each junction owns one Table holding its declared propositions and named
+// data. Other junctions communicate by pushing updates (write / assert /
+// retract); those updates are queued and take effect when the owning junction
+// is next scheduled — except while the junction blocks in a wait statement,
+// when updates to the waited-on propositions and data keys are let through.
+// Local updates have priority: a local write discards pending remote updates
+// to the same key.
+package kv
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"csaw/internal/formula"
+)
+
+// ErrUndef is returned when reading (restore/write) a data variable that
+// still holds the special undef value (paper §6 "Initialization": undef is
+// not a valid value — trying to write or restore it results in an error).
+var ErrUndef = errors.New("kv: value is undef")
+
+// ErrUndeclared is returned when accessing a name that was never declared
+// with init prop / init data.
+var ErrUndeclared = errors.New("kv: name not declared")
+
+// UpdateKind discriminates remote updates.
+type UpdateKind uint8
+
+const (
+	// UpdateProp carries an assert/retract of a proposition.
+	UpdateProp UpdateKind = iota
+	// UpdateData carries a write of named (serialized) data.
+	UpdateData
+)
+
+// Update is one remote modification pushed at this table by another
+// junction's assert/retract/write statement.
+type Update struct {
+	Kind UpdateKind
+	Key  string
+	Bool bool   // proposition value for UpdateProp
+	Data []byte // serialized payload for UpdateData
+	From string // fully-qualified name of the originating junction
+	seq  uint64 // arrival order
+}
+
+// Value is a named-data slot. Defined is false while the slot holds undef.
+type Value struct {
+	Defined bool
+	Data    []byte
+}
+
+// WaitSet describes which pending updates a blocked wait statement lets
+// through: updates to any proposition appearing in the wait formula and to
+// any data key listed in the wait's n⃗ vector (paper §6 "Junction state").
+type WaitSet struct {
+	Props map[string]bool
+	Data  map[string]bool
+}
+
+// NewWaitSet builds a WaitSet from a formula and a data-key list. Only
+// locally-scoped propositions of the formula are admitted; a junction can
+// never receive updates for another junction's table.
+func NewWaitSet(f formula.Formula, dataKeys []string) WaitSet {
+	ws := WaitSet{Props: map[string]bool{}, Data: map[string]bool{}}
+	if f != nil {
+		for _, p := range formula.Props(f) {
+			if p.Junction == "" {
+				ws.Props[p.Name] = true
+			}
+		}
+	}
+	for _, k := range dataKeys {
+		ws.Data[k] = true
+	}
+	return ws
+}
+
+// admits reports whether the wait set lets the update through.
+func (ws WaitSet) admits(u Update) bool {
+	switch u.Kind {
+	case UpdateProp:
+		return ws.Props[u.Key]
+	case UpdateData:
+		return ws.Data[u.Key]
+	}
+	return false
+}
+
+// Table is one junction's KV table. It is safe for concurrent use: the
+// owning junction's interpreter goroutine performs local reads/writes and
+// scheduling-time pending application, while any other junction may Enqueue
+// updates at any time.
+type Table struct {
+	mu      sync.Mutex
+	props   map[string]bool
+	data    map[string]Value
+	pending []Update
+	nextSeq uint64
+
+	// waiters holds the admission sets of all currently-blocked wait
+	// statements (parallel composition can block several waits at once).
+	waiters map[int]*WaitSet
+	nextWid int
+
+	// notify is pinged whenever an update is enqueued or admitted, waking a
+	// blocked wait.
+	notify chan struct{}
+}
+
+// NewTable returns an empty table with no declared names.
+func NewTable() *Table {
+	return &Table{
+		props:   map[string]bool{},
+		data:    map[string]Value{},
+		waiters: map[int]*WaitSet{},
+		notify:  make(chan struct{}, 1),
+	}
+}
+
+// Notify returns the channel pinged when a relevant update lands. The
+// runtime's wait loop selects on it alongside the timeout.
+func (t *Table) Notify() <-chan struct{} { return t.notify }
+
+func (t *Table) ping() {
+	select {
+	case t.notify <- struct{}{}:
+	default:
+	}
+}
+
+// DeclareProp declares a proposition with its initial value ("init prop ¬P"
+// declares P initialized to false).
+func (t *Table) DeclareProp(name string, init bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.props[name] = init
+}
+
+// DeclareData declares a data variable initialized to undef.
+func (t *Table) DeclareData(name string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.data[name] = Value{}
+}
+
+// HasProp reports whether the proposition was declared.
+func (t *Table) HasProp(name string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_, ok := t.props[name]
+	return ok
+}
+
+// HasData reports whether the data variable was declared.
+func (t *Table) HasData(name string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_, ok := t.data[name]
+	return ok
+}
+
+// Prop returns the current value of a declared proposition.
+func (t *Table) Prop(name string) (bool, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	v, ok := t.props[name]
+	if !ok {
+		return false, fmt.Errorf("%w: prop %q", ErrUndeclared, name)
+	}
+	return v, nil
+}
+
+// SetProp performs a *local* assert/retract. Per the local-priority rule it
+// discards any pending remote updates to the same proposition.
+func (t *Table) SetProp(name string, v bool) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.props[name]; !ok {
+		return fmt.Errorf("%w: prop %q", ErrUndeclared, name)
+	}
+	t.props[name] = v
+	t.dropPendingLocked(UpdateProp, name)
+	return nil
+}
+
+// Data returns the current value of a declared, defined data variable.
+func (t *Table) Data(name string) ([]byte, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	v, ok := t.data[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: data %q", ErrUndeclared, name)
+	}
+	if !v.Defined {
+		return nil, fmt.Errorf("%w: data %q", ErrUndef, name)
+	}
+	return v.Data, nil
+}
+
+// Defined reports whether the data variable holds a valid (non-undef) value.
+func (t *Table) Defined(name string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.data[name].Defined
+}
+
+// SetData performs a *local* save. Per the local-priority rule it discards
+// pending remote updates to the same key.
+func (t *Table) SetData(name string, data []byte) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.data[name]; !ok {
+		return fmt.Errorf("%w: data %q", ErrUndeclared, name)
+	}
+	t.data[name] = Value{Defined: true, Data: data}
+	t.dropPendingLocked(UpdateData, name)
+	return nil
+}
+
+func (t *Table) dropPendingLocked(kind UpdateKind, key string) {
+	kept := t.pending[:0]
+	for _, u := range t.pending {
+		if u.Kind == kind && u.Key == key {
+			continue
+		}
+		kept = append(kept, u)
+	}
+	t.pending = kept
+}
+
+// Enqueue delivers a remote update. If the junction is currently blocked in
+// a wait whose admission set covers the update, the update is applied
+// immediately; otherwise it queues until the next scheduling.
+func (t *Table) Enqueue(u Update) {
+	t.mu.Lock()
+	u.seq = t.nextSeq
+	t.nextSeq++
+	if t.admittedLocked(u) {
+		t.applyLocked(u)
+	} else {
+		t.pending = append(t.pending, u)
+	}
+	t.mu.Unlock()
+	t.ping()
+}
+
+func (t *Table) applyLocked(u Update) {
+	switch u.Kind {
+	case UpdateProp:
+		if _, ok := t.props[u.Key]; ok {
+			t.props[u.Key] = u.Bool
+		}
+	case UpdateData:
+		if _, ok := t.data[u.Key]; ok {
+			t.data[u.Key] = Value{Defined: true, Data: u.Data}
+		}
+	}
+}
+
+// ApplyPending applies all queued updates in arrival order. The runtime
+// calls it when the junction is scheduled (paper §8: updates "take effect
+// after the junction finishes executing, and before it is scheduled to
+// execute again").
+func (t *Table) ApplyPending() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := len(t.pending)
+	for _, u := range t.pending {
+		t.applyLocked(u)
+	}
+	t.pending = nil
+	return n
+}
+
+// PendingLen reports how many updates are queued.
+func (t *Table) PendingLen() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.pending)
+}
+
+// Keep discards pending parallel KV updates for the given proposition and
+// data names (paper §6: "A junction can discard parallel KV updates through
+// the 'keep' primitive. This primitive is idempotent").
+func (t *Table) Keep(propNames, dataNames []string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, n := range propNames {
+		t.dropPendingLocked(UpdateProp, n)
+	}
+	for _, n := range dataNames {
+		t.dropPendingLocked(UpdateData, n)
+	}
+}
+
+// admittedLocked reports whether any active waiter admits the update.
+func (t *Table) admittedLocked(u Update) bool {
+	for _, ws := range t.waiters {
+		if ws.admits(u) {
+			return true
+		}
+	}
+	return false
+}
+
+// BeginWait installs a wait admission set and drains already-queued updates
+// that it admits (a wait observes updates that raced ahead of it). Several
+// waits may be active at once (parallel composition); the returned handle
+// identifies this one for EndWait.
+func (t *Table) BeginWait(ws WaitSet) (handle int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	handle = t.nextWid
+	t.nextWid++
+	t.waiters[handle] = &ws
+	kept := t.pending[:0]
+	for _, u := range t.pending {
+		if ws.admits(u) {
+			t.applyLocked(u)
+			continue
+		}
+		kept = append(kept, u)
+	}
+	t.pending = kept
+	return handle
+}
+
+// EndWait removes a wait admission set by handle.
+func (t *Table) EndWait(handle int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.waiters, handle)
+}
+
+// Snapshot captures the table contents for transactional rollback (the
+// ⟨|E|⟩ block). The pending queue is NOT captured: queued communication from
+// other junctions survives a rollback.
+type Snapshot struct {
+	props map[string]bool
+	data  map[string]Value
+}
+
+// Snapshot returns a deep copy of the current table contents.
+func (t *Table) Snapshot() Snapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := Snapshot{props: make(map[string]bool, len(t.props)), data: make(map[string]Value, len(t.data))}
+	for k, v := range t.props {
+		s.props[k] = v
+	}
+	for k, v := range t.data {
+		cp := v
+		if v.Data != nil {
+			cp.Data = append([]byte(nil), v.Data...)
+		}
+		s.data[k] = cp
+	}
+	return s
+}
+
+// Restore rolls the table contents back to a snapshot.
+func (t *Table) Restore(s Snapshot) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.props = make(map[string]bool, len(s.props))
+	for k, v := range s.props {
+		t.props[k] = v
+	}
+	t.data = make(map[string]Value, len(s.data))
+	for k, v := range s.data {
+		cp := v
+		if v.Data != nil {
+			cp.Data = append([]byte(nil), v.Data...)
+		}
+		t.data[k] = cp
+	}
+}
+
+// PropNames returns the declared proposition names in sorted order.
+func (t *Table) PropNames() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]string, 0, len(t.props))
+	for k := range t.props {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DataNames returns the declared data names in sorted order.
+func (t *Table) DataNames() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]string, 0, len(t.data))
+	for k := range t.data {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ApplyNow applies an update immediately, bypassing the pending queue, and
+// wakes any blocked wait. This is the ablation path for disabling the
+// local-priority rule; normal delivery goes through Enqueue.
+func (t *Table) ApplyNow(u Update) {
+	t.mu.Lock()
+	u.seq = t.nextSeq
+	t.nextSeq++
+	t.applyLocked(u)
+	t.mu.Unlock()
+	t.ping()
+}

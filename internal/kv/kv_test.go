@@ -1,0 +1,407 @@
+package kv
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"csaw/internal/formula"
+)
+
+func TestDeclareAndRead(t *testing.T) {
+	tb := NewTable()
+	tb.DeclareProp("Work", false)
+	tb.DeclareData("n")
+
+	if v, err := tb.Prop("Work"); err != nil || v {
+		t.Fatalf("Work = %v, %v; want false, nil", v, err)
+	}
+	if !tb.HasProp("Work") || tb.HasProp("Other") {
+		t.Fatalf("HasProp wrong")
+	}
+	if !tb.HasData("n") || tb.HasData("m") {
+		t.Fatalf("HasData wrong")
+	}
+}
+
+func TestUndefSemantics(t *testing.T) {
+	tb := NewTable()
+	tb.DeclareData("n")
+	if _, err := tb.Data("n"); !errors.Is(err, ErrUndef) {
+		t.Fatalf("reading undef: err = %v, want ErrUndef", err)
+	}
+	if tb.Defined("n") {
+		t.Fatal("undef slot reports Defined")
+	}
+	if err := tb.SetData("n", []byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tb.Data("n")
+	if err != nil || string(got) != "hi" {
+		t.Fatalf("Data = %q, %v", got, err)
+	}
+	if !tb.Defined("n") {
+		t.Fatal("defined slot reports undef")
+	}
+}
+
+func TestUndeclaredErrors(t *testing.T) {
+	tb := NewTable()
+	if _, err := tb.Prop("P"); !errors.Is(err, ErrUndeclared) {
+		t.Errorf("Prop: %v", err)
+	}
+	if err := tb.SetProp("P", true); !errors.Is(err, ErrUndeclared) {
+		t.Errorf("SetProp: %v", err)
+	}
+	if _, err := tb.Data("n"); !errors.Is(err, ErrUndeclared) {
+		t.Errorf("Data: %v", err)
+	}
+	if err := tb.SetData("n", nil); !errors.Is(err, ErrUndeclared) {
+		t.Errorf("SetData: %v", err)
+	}
+}
+
+func TestPendingAppliedAtScheduling(t *testing.T) {
+	tb := NewTable()
+	tb.DeclareProp("Work", false)
+	tb.Enqueue(Update{Kind: UpdateProp, Key: "Work", Bool: true, From: "g"})
+
+	// Not yet applied.
+	if v, _ := tb.Prop("Work"); v {
+		t.Fatal("pending update applied before scheduling")
+	}
+	if tb.PendingLen() != 1 {
+		t.Fatalf("PendingLen = %d", tb.PendingLen())
+	}
+	if n := tb.ApplyPending(); n != 1 {
+		t.Fatalf("ApplyPending = %d", n)
+	}
+	if v, _ := tb.Prop("Work"); !v {
+		t.Fatal("update lost")
+	}
+}
+
+func TestPendingOrderPreserved(t *testing.T) {
+	tb := NewTable()
+	tb.DeclareData("n")
+	tb.Enqueue(Update{Kind: UpdateData, Key: "n", Data: []byte("first")})
+	tb.Enqueue(Update{Kind: UpdateData, Key: "n", Data: []byte("second")})
+	tb.ApplyPending()
+	got, _ := tb.Data("n")
+	if string(got) != "second" {
+		t.Fatalf("updates applied out of order: %q", got)
+	}
+}
+
+// TestLocalPriority encodes the paper's §8 rule: "If state updates arrive at
+// a running junction, and that junction updates that same state, then the
+// pending update will be ignored."
+func TestLocalPriority(t *testing.T) {
+	tb := NewTable()
+	tb.DeclareProp("Work", false)
+	tb.DeclareData("n")
+
+	tb.Enqueue(Update{Kind: UpdateProp, Key: "Work", Bool: true})
+	tb.Enqueue(Update{Kind: UpdateData, Key: "n", Data: []byte("remote")})
+
+	// Local writes discard the pending updates for the same keys.
+	if err := tb.SetProp("Work", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.SetData("n", []byte("local")); err != nil {
+		t.Fatal(err)
+	}
+	if tb.PendingLen() != 0 {
+		t.Fatalf("PendingLen = %d, want 0 after local overwrite", tb.PendingLen())
+	}
+	tb.ApplyPending()
+	if v, _ := tb.Prop("Work"); v {
+		t.Fatal("remote prop update survived local write")
+	}
+	if d, _ := tb.Data("n"); string(d) != "local" {
+		t.Fatalf("n = %q, want local", d)
+	}
+}
+
+func TestLocalPriorityOnlyDropsSameKey(t *testing.T) {
+	tb := NewTable()
+	tb.DeclareProp("A", false)
+	tb.DeclareProp("B", false)
+	tb.Enqueue(Update{Kind: UpdateProp, Key: "A", Bool: true})
+	tb.Enqueue(Update{Kind: UpdateProp, Key: "B", Bool: true})
+	if err := tb.SetProp("A", false); err != nil {
+		t.Fatal(err)
+	}
+	if tb.PendingLen() != 1 {
+		t.Fatalf("PendingLen = %d, want 1 (B's update kept)", tb.PendingLen())
+	}
+	tb.ApplyPending()
+	if b, _ := tb.Prop("B"); !b {
+		t.Fatal("B's update lost")
+	}
+}
+
+func TestKeepIsIdempotent(t *testing.T) {
+	tb := NewTable()
+	tb.DeclareProp("P", false)
+	tb.DeclareData("n")
+	tb.Enqueue(Update{Kind: UpdateProp, Key: "P", Bool: true})
+	tb.Enqueue(Update{Kind: UpdateData, Key: "n", Data: []byte("x")})
+
+	tb.Keep([]string{"P"}, []string{"n"})
+	if tb.PendingLen() != 0 {
+		t.Fatalf("Keep did not discard: %d left", tb.PendingLen())
+	}
+	// Idempotent: calling again on an empty queue is a no-op.
+	tb.Keep([]string{"P"}, []string{"n"})
+	if tb.PendingLen() != 0 {
+		t.Fatal("Keep not idempotent")
+	}
+}
+
+func TestWaitAdmitsOnlyWaitSet(t *testing.T) {
+	tb := NewTable()
+	tb.DeclareProp("Work", true)
+	tb.DeclareProp("Other", false)
+	tb.DeclareData("m")
+	tb.DeclareData("x")
+
+	ws := NewWaitSet(formula.Not(formula.P("Work")), []string{"m"})
+	h := tb.BeginWait(ws)
+	defer tb.EndWait(h)
+
+	tb.Enqueue(Update{Kind: UpdateProp, Key: "Work", Bool: false}) // admitted
+	tb.Enqueue(Update{Kind: UpdateProp, Key: "Other", Bool: true}) // queued
+	tb.Enqueue(Update{Kind: UpdateData, Key: "m", Data: []byte("payload")})
+	tb.Enqueue(Update{Kind: UpdateData, Key: "x", Data: []byte("nope")}) // queued
+
+	if v, _ := tb.Prop("Work"); v {
+		t.Fatal("wait-set prop update not applied immediately")
+	}
+	if d, _ := tb.Data("m"); string(d) != "payload" {
+		t.Fatalf("wait-set data update not applied: %v", d)
+	}
+	if v, _ := tb.Prop("Other"); v {
+		t.Fatal("non-wait-set update leaked through during wait")
+	}
+	if tb.Defined("x") {
+		t.Fatal("non-wait-set data leaked through during wait")
+	}
+	if tb.PendingLen() != 2 {
+		t.Fatalf("PendingLen = %d, want 2", tb.PendingLen())
+	}
+}
+
+func TestWaitSetIgnoresRemoteProps(t *testing.T) {
+	// A formula mentioning g@P must not admit updates keyed P — remote
+	// propositions live in the other junction's table.
+	ws := NewWaitSet(formula.At("g", "P"), nil)
+	if ws.Props["P"] {
+		t.Fatal("remote-qualified prop admitted into wait set")
+	}
+}
+
+func TestBeginWaitDrainsRacedUpdates(t *testing.T) {
+	tb := NewTable()
+	tb.DeclareProp("Work", true)
+	// Update arrives before the wait starts.
+	tb.Enqueue(Update{Kind: UpdateProp, Key: "Work", Bool: false})
+	h := tb.BeginWait(NewWaitSet(formula.Not(formula.P("Work")), nil))
+	defer tb.EndWait(h)
+	if v, _ := tb.Prop("Work"); v {
+		t.Fatal("raced update not drained at BeginWait")
+	}
+}
+
+func TestNotifyPinged(t *testing.T) {
+	tb := NewTable()
+	tb.DeclareProp("P", false)
+	tb.Enqueue(Update{Kind: UpdateProp, Key: "P", Bool: true})
+	select {
+	case <-tb.Notify():
+	default:
+		t.Fatal("Enqueue did not ping Notify")
+	}
+}
+
+func TestSnapshotRollback(t *testing.T) {
+	tb := NewTable()
+	tb.DeclareProp("P", true)
+	tb.DeclareData("n")
+	if err := tb.SetData("n", []byte("before")); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := tb.Snapshot()
+	if err := tb.SetProp("P", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.SetData("n", []byte("after")); err != nil {
+		t.Fatal(err)
+	}
+
+	tb.Restore(snap)
+	if v, _ := tb.Prop("P"); !v {
+		t.Fatal("prop not rolled back")
+	}
+	if d, _ := tb.Data("n"); string(d) != "before" {
+		t.Fatalf("data not rolled back: %q", d)
+	}
+}
+
+func TestSnapshotIsDeep(t *testing.T) {
+	tb := NewTable()
+	tb.DeclareData("n")
+	buf := []byte("abc")
+	if err := tb.SetData("n", buf); err != nil {
+		t.Fatal(err)
+	}
+	snap := tb.Snapshot()
+	// Mutating the table's current value must not corrupt the snapshot.
+	if err := tb.SetData("n", []byte("zzz")); err != nil {
+		t.Fatal(err)
+	}
+	tb.Restore(snap)
+	if d, _ := tb.Data("n"); string(d) != "abc" {
+		t.Fatalf("snapshot aliased live data: %q", d)
+	}
+}
+
+func TestSnapshotDoesNotCapturePending(t *testing.T) {
+	tb := NewTable()
+	tb.DeclareProp("P", false)
+	snap := tb.Snapshot()
+	tb.Enqueue(Update{Kind: UpdateProp, Key: "P", Bool: true})
+	tb.Restore(snap)
+	if tb.PendingLen() != 1 {
+		t.Fatal("rollback must not discard queued communication")
+	}
+}
+
+func TestApplyPendingIgnoresUndeclared(t *testing.T) {
+	tb := NewTable()
+	tb.DeclareProp("P", false)
+	tb.Enqueue(Update{Kind: UpdateProp, Key: "NotDeclared", Bool: true})
+	tb.Enqueue(Update{Kind: UpdateData, Key: "ghost", Data: []byte("x")})
+	tb.ApplyPending() // must not panic or create names
+	if tb.HasProp("NotDeclared") || tb.HasData("ghost") {
+		t.Fatal("undeclared names materialized from remote updates")
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	tb := NewTable()
+	tb.DeclareProp("Z", false)
+	tb.DeclareProp("A", false)
+	tb.DeclareData("z")
+	tb.DeclareData("a")
+	p := tb.PropNames()
+	d := tb.DataNames()
+	if len(p) != 2 || p[0] != "A" || p[1] != "Z" {
+		t.Fatalf("PropNames = %v", p)
+	}
+	if len(d) != 2 || d[0] != "a" || d[1] != "z" {
+		t.Fatalf("DataNames = %v", d)
+	}
+}
+
+// TestConcurrentEnqueue hammers a table from many goroutines; run with
+// -race to validate the locking discipline.
+func TestConcurrentEnqueue(t *testing.T) {
+	tb := NewTable()
+	tb.DeclareProp("P", false)
+	tb.DeclareData("n")
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(i)))
+			for j := 0; j < 200; j++ {
+				if r.Intn(2) == 0 {
+					tb.Enqueue(Update{Kind: UpdateProp, Key: "P", Bool: r.Intn(2) == 0})
+				} else {
+					tb.Enqueue(Update{Kind: UpdateData, Key: "n", Data: []byte{byte(j)}})
+				}
+			}
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 50; i++ {
+			tb.ApplyPending()
+			_ = tb.SetProp("P", true)
+			_ = tb.SetData("n", []byte("local"))
+			tb.Snapshot()
+		}
+		close(done)
+	}()
+	wg.Wait()
+	<-done
+	tb.ApplyPending()
+}
+
+// TestRandomizedLocalPriorityProperty: in any interleaving of local writes
+// and remote enqueues (applied at the end), the final value of a key is the
+// value of the last event for that key, where a local write also cancels all
+// earlier remote updates. We simulate against a sequential model.
+func TestRandomizedLocalPriorityProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		tb := NewTable()
+		tb.DeclareProp("P", false)
+
+		// model: track the value each event source would produce.
+		modelVal := false
+		var pendingModel []bool
+
+		nEvents := 1 + r.Intn(20)
+		for e := 0; e < nEvents; e++ {
+			v := r.Intn(2) == 0
+			if r.Intn(2) == 0 {
+				// Local write: applies now, cancels pending.
+				if err := tb.SetProp("P", v); err != nil {
+					t.Fatal(err)
+				}
+				modelVal = v
+				pendingModel = nil
+			} else {
+				tb.Enqueue(Update{Kind: UpdateProp, Key: "P", Bool: v})
+				pendingModel = append(pendingModel, v)
+			}
+		}
+		tb.ApplyPending()
+		for _, v := range pendingModel {
+			modelVal = v
+		}
+		got, _ := tb.Prop("P")
+		if got != modelVal {
+			t.Fatalf("trial %d: table=%v model=%v", trial, got, modelVal)
+		}
+	}
+}
+
+func TestApplyNowBypassesQueueAndPings(t *testing.T) {
+	tb := NewTable()
+	tb.DeclareProp("P", false)
+	tb.ApplyNow(Update{Kind: UpdateProp, Key: "P", Bool: true})
+	if v, _ := tb.Prop("P"); !v {
+		t.Fatal("ApplyNow did not apply immediately")
+	}
+	if tb.PendingLen() != 0 {
+		t.Fatal("ApplyNow queued instead of applying")
+	}
+	select {
+	case <-tb.Notify():
+	default:
+		t.Fatal("ApplyNow did not ping waiters")
+	}
+	// Data path too.
+	tb.DeclareData("n")
+	tb.ApplyNow(Update{Kind: UpdateData, Key: "n", Data: []byte("x")})
+	if d, _ := tb.Data("n"); string(d) != "x" {
+		t.Fatal("ApplyNow data not applied")
+	}
+}

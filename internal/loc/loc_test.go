@@ -1,0 +1,79 @@
+package loc
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTemp(t *testing.T, content string) string {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.go")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCountSkipsBlanksAndComments(t *testing.T) {
+	src := `package x
+
+// a comment
+/* block
+   comment */
+func F() int { // trailing comments count the line
+	return 1
+}
+/* one-liner */ var y = 2
+`
+	path := writeTemp(t, src)
+	n, err := Count(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// package, func, return, }, var line (after block comment) = 5
+	if n != 5 {
+		t.Fatalf("count = %d, want 5", n)
+	}
+}
+
+func TestCountMissingFile(t *testing.T) {
+	if _, err := Count("/nonexistent/file.go"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestModuleRoot(t *testing.T) {
+	root, err := ModuleRoot("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("root %s has no go.mod", root)
+	}
+}
+
+func TestTable2AgainstLiveTree(t *testing.T) {
+	root, err := ModuleRoot("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Table2(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.DSL <= 0 || r.RedisGlue <= 0 || r.DirectGo <= 0 {
+			t.Fatalf("%s: zero counts %+v", r.Feature, r)
+		}
+		// The paper's headline: direct re-architecture costs far more than
+		// using the DSL. The pattern+glue total must beat direct Go.
+		if r.DSL+r.RedisGlue >= r.DirectGo {
+			t.Errorf("%s: DSL total %d not smaller than direct %d", r.Feature, r.DSL+r.RedisGlue, r.DirectGo)
+		}
+	}
+}

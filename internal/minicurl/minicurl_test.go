@@ -1,0 +1,180 @@
+package minicurl
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDownloadIntegrity(t *testing.T) {
+	srv := NewServer()
+	srv.AddFile("file.bin", 1<<20)
+	st, err := Download(srv, "file.bin", GbE, 64<<10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Bytes != 1<<20 {
+		t.Fatalf("bytes = %d", st.Bytes)
+	}
+	if st.Chunks != 16 {
+		t.Fatalf("chunks = %d", st.Chunks)
+	}
+	want, err := Verify(srv, "file.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Checksum != want {
+		t.Fatalf("checksum %08x != %08x", st.Checksum, want)
+	}
+}
+
+func TestDownloadUnknownFile(t *testing.T) {
+	srv := NewServer()
+	if _, err := Download(srv, "nope", GbE, 0, nil); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestContentDeterministicAndPositional(t *testing.T) {
+	srv := NewServer()
+	srv.AddFile("a", 4096)
+	b1 := make([]byte, 4096)
+	b2 := make([]byte, 4096)
+	if err := srv.Content("a", 0, b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Content("a", 0, b2); err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b2) {
+		t.Fatal("content not deterministic")
+	}
+	// Reading in two halves equals one read.
+	h1 := make([]byte, 2048)
+	h2 := make([]byte, 2048)
+	if err := srv.Content("a", 0, h1); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Content("a", 2048, h2); err != nil {
+		t.Fatal(err)
+	}
+	if string(append(h1, h2...)) != string(b1) {
+		t.Fatal("content not position-consistent")
+	}
+	// Different names yield different content.
+	srv.AddFile("b", 4096)
+	bb := make([]byte, 4096)
+	if err := srv.Content("b", 0, bb); err != nil {
+		t.Fatal(err)
+	}
+	if string(bb) == string(b1) {
+		t.Fatal("distinct files have identical content")
+	}
+}
+
+func TestContentBounds(t *testing.T) {
+	srv := NewServer()
+	srv.AddFile("a", 100)
+	if err := srv.Content("a", 90, make([]byte, 20)); err == nil {
+		t.Fatal("out-of-bounds read accepted")
+	}
+	if err := srv.Content("a", -1, make([]byte, 1)); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+}
+
+func TestLinkTimeModel(t *testing.T) {
+	l := Link{RTT: time.Millisecond, BytesPerSec: 1e6}
+	if got := l.TransferTime(1e6); got != time.Second {
+		t.Fatalf("1MB over 1MB/s = %v", got)
+	}
+	srv := NewServer()
+	srv.AddFile("f", 1<<20)
+	small, err := Download(srv, "f", GbE, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.AddFile("g", 10<<20)
+	big, err := Download(srv, "g", GbE, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bigger files take longer; roughly 10x for 10x size at fixed RTT.
+	ratio := float64(big.Time) / float64(small.Time)
+	if ratio < 5 || ratio > 15 {
+		t.Fatalf("time ratio = %.1f, want ≈10", ratio)
+	}
+}
+
+func TestHookChargesTime(t *testing.T) {
+	srv := NewServer()
+	srv.AddFile("f", 512<<10)
+	base, err := Download(srv, "f", GbE, 64<<10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const perChunk = time.Millisecond
+	var progressSeen []Progress
+	audited, err := Download(srv, "f", GbE, 64<<10, func(p Progress) (time.Duration, error) {
+		progressSeen = append(progressSeen, p)
+		return perChunk, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(progressSeen) != audited.Chunks {
+		t.Fatalf("hook called %d times for %d chunks", len(progressSeen), audited.Chunks)
+	}
+	wantExtra := time.Duration(audited.Chunks) * perChunk
+	if audited.HookTime != wantExtra {
+		t.Fatalf("hook time = %v, want %v", audited.HookTime, wantExtra)
+	}
+	if audited.Time != base.Time+wantExtra {
+		t.Fatalf("audited time %v != base %v + %v", audited.Time, base.Time, wantExtra)
+	}
+	// Progress is monotone and complete.
+	last := progressSeen[len(progressSeen)-1]
+	if last.Received != last.Total || last.Total != 512<<10 {
+		t.Fatalf("final progress = %+v", last)
+	}
+	for i := 1; i < len(progressSeen); i++ {
+		if progressSeen[i].Received <= progressSeen[i-1].Received {
+			t.Fatal("progress not monotone")
+		}
+	}
+}
+
+func TestHookAbortsTransfer(t *testing.T) {
+	srv := NewServer()
+	srv.AddFile("f", 1<<20)
+	boom := errors.New("audit unreachable")
+	_, err := Download(srv, "f", GbE, 64<<10, func(p Progress) (time.Duration, error) {
+		if p.Chunk == 3 {
+			return 0, boom
+		}
+		return 0, nil
+	})
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCrossVMCostsMoreThanSameVM(t *testing.T) {
+	srv := NewServer()
+	srv.AddFile("f", 1<<20)
+	run := func(audit Link) time.Duration {
+		st, err := Download(srv, "f", GbE, 64<<10, func(p Progress) (time.Duration, error) {
+			// The audit ships a ~64-byte progress record per chunk.
+			return audit.RTT + audit.TransferTime(64), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.Time
+	}
+	same := run(SameVM)
+	cross := run(CrossVM)
+	if cross <= same {
+		t.Fatalf("cross-VM audit (%v) should cost more than same-VM (%v)", cross, same)
+	}
+}

@@ -1,0 +1,249 @@
+package minisuricata
+
+import (
+	"testing"
+
+	"csaw/internal/workload"
+)
+
+func pkt(payload string) *workload.Packet {
+	return &workload.Packet{
+		Flow: workload.Flow{SrcIP: 1, DstIP: 2, SrcPort: 1234, DstPort: 80, Proto: 6},
+		Len:  100, Payload: []byte(payload),
+	}
+}
+
+func TestBenignPacketPasses(t *testing.T) {
+	e := NewDefaultEngine()
+	if v := e.ProcessPacket(pkt("GET /index.html")); v != Pass {
+		t.Fatalf("verdict = %v", v)
+	}
+	st := e.Stats()
+	if st.Packets != 1 || st.Alerts != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestMaliciousPacketAlerts(t *testing.T) {
+	e := NewDefaultEngine()
+	if v := e.ProcessPacket(pkt("GET /etc/passwd EVIL")); v != Alert {
+		t.Fatalf("verdict = %v", v)
+	}
+	if e.Stats().Alerts != 1 {
+		t.Fatalf("stats = %+v", e.Stats())
+	}
+	// The payload matches both rules, so the flow records one alert per
+	// matching rule.
+	f, ok := e.FlowStats(pkt("").Flow.FiveTupleKey())
+	if !ok || f.Alerts != 2 {
+		t.Fatalf("flow = %+v %v", f, ok)
+	}
+}
+
+func TestMalformedPacketDropped(t *testing.T) {
+	e := NewDefaultEngine()
+	p := pkt("x")
+	p.Len = 0
+	if v := e.ProcessPacket(p); v != Drop {
+		t.Fatalf("verdict = %v", v)
+	}
+	if e.Stats().Dropped != 1 {
+		t.Fatalf("stats = %+v", e.Stats())
+	}
+}
+
+func TestFlowTracking(t *testing.T) {
+	e := NewDefaultEngine()
+	for i := 0; i < 10; i++ {
+		e.ProcessPacket(pkt("hello"))
+	}
+	other := pkt("hello")
+	other.Flow.SrcPort = 9999
+	e.ProcessPacket(other)
+
+	if e.Flows() != 2 {
+		t.Fatalf("flows = %d", e.Flows())
+	}
+	f, ok := e.FlowStats(pkt("").Flow.FiveTupleKey())
+	if !ok || f.Packets != 10 || f.Bytes != 1000 {
+		t.Fatalf("flow = %+v", f)
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	e := NewDefaultEngine()
+	for i := 0; i < 20; i++ {
+		e.ProcessPacket(pkt("traffic"))
+	}
+	e.ProcessPacket(pkt("EVIL"))
+	img, err := e.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fresh engine restores to identical state — the fail-over replica.
+	replica := NewDefaultEngine()
+	if err := replica.Restore(img); err != nil {
+		t.Fatal(err)
+	}
+	if replica.Stats() != e.Stats() {
+		t.Fatalf("stats %+v != %+v", replica.Stats(), e.Stats())
+	}
+	if replica.Flows() != e.Flows() {
+		t.Fatalf("flows %d != %d", replica.Flows(), e.Flows())
+	}
+	orig, _ := e.FlowStats(pkt("").Flow.FiveTupleKey())
+	rest, ok := replica.FlowStats(pkt("").Flow.FiveTupleKey())
+	if !ok || rest != orig {
+		t.Fatalf("flow state %+v != %+v", rest, orig)
+	}
+	// The replica keeps processing from the restored state.
+	replica.ProcessPacket(pkt("more"))
+	if replica.Stats().Packets != e.Stats().Packets+1 {
+		t.Fatal("replica did not continue from checkpoint")
+	}
+}
+
+func TestRestoreCorrupt(t *testing.T) {
+	e := NewDefaultEngine()
+	if err := e.Restore([]byte{9, 9, 9}); err == nil {
+		t.Fatal("corrupt snapshot accepted")
+	}
+}
+
+func TestGraphValidation(t *testing.T) {
+	// Edge to unknown node.
+	g := NewGraph()
+	g.AddNode(&DecodeNode{})
+	g.Connect("decode", 0, "ghost")
+	if err := g.Validate(); err == nil {
+		t.Fatal("edge to unknown node accepted")
+	}
+	// Cycle.
+	g2 := NewGraph()
+	g2.AddNode(&DecodeNode{}).AddNode(&FlowNode{})
+	g2.Connect("decode", 0, "flow")
+	g2.Connect("flow", 0, "decode")
+	if err := g2.Validate(); err == nil {
+		t.Fatal("cyclic graph accepted")
+	}
+	// Empty.
+	if err := NewGraph().Validate(); err == nil {
+		t.Fatal("empty graph accepted")
+	}
+	// Default graph is valid.
+	if err := DefaultGraph().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCustomGraphRouting(t *testing.T) {
+	// A custom branch: detect routes alerts to a quarantine node on port 1.
+	g := NewGraph()
+	g.AddNode(&DecodeNode{}).AddNode(&FlowNode{}).AddNode(&branchDetect{}).AddNode(&OutputNode{}).AddNode(&quarantine{})
+	g.Connect("decode", 0, "flow")
+	g.Connect("flow", 0, "branch")
+	g.Connect("branch", 0, "output")
+	g.Connect("branch", 1, "quarantine")
+	e, err := NewEngine(g, DefaultRules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := e.ProcessPacket(pkt("EVIL payload")); v != Drop {
+		t.Fatalf("quarantined packet verdict = %v", v)
+	}
+	if v := e.ProcessPacket(pkt("fine")); v != Pass {
+		t.Fatalf("benign verdict = %v", v)
+	}
+}
+
+type branchDetect struct{ DetectNode }
+
+func (*branchDetect) Name() string { return "branch" }
+
+func (b *branchDetect) Process(ctx *Context, p *workload.Packet) int {
+	b.DetectNode.Process(ctx, p)
+	if ctx.verdict == Alert {
+		return 1
+	}
+	return 0
+}
+
+type quarantine struct{}
+
+func (*quarantine) Name() string { return "quarantine" }
+func (*quarantine) Process(ctx *Context, p *workload.Packet) int {
+	ctx.verdict = Drop
+	return -1
+}
+
+func TestShardForStability(t *testing.T) {
+	p := pkt("x")
+	first := ShardFor(p, 4)
+	for i := 0; i < 10; i++ {
+		if ShardFor(p, 4) != first {
+			t.Fatal("shard assignment not stable")
+		}
+	}
+	if first < 0 || first >= 4 {
+		t.Fatalf("shard %d out of range", first)
+	}
+	if ShardFor(p, 0) != 0 {
+		t.Fatal("n=0 should map to 0")
+	}
+}
+
+func TestShardDistribution(t *testing.T) {
+	tr := workload.NewFlowTrace(workload.FlowTraceConfig{Flows: 400, MeanPackets: 2, Seed: 11})
+	counts := make([]int, 4)
+	total := 0
+	for {
+		p, ok := tr.Next()
+		if !ok {
+			break
+		}
+		counts[ShardFor(&p, 4)]++
+		total++
+	}
+	for i, c := range counts {
+		frac := float64(c) / float64(total)
+		if frac < 0.10 || frac > 0.45 {
+			t.Fatalf("shard %d got %.2f of traffic: %v", i, frac, counts)
+		}
+	}
+}
+
+func TestFullTraceRun(t *testing.T) {
+	e := NewDefaultEngine()
+	tr := workload.NewFlowTrace(workload.FlowTraceConfig{Flows: 100, MeanPackets: 10, Seed: 3, SuspiciousFraction: 0.2})
+	total := tr.TotalPackets()
+	alerts := 0
+	for {
+		p, ok := tr.Next()
+		if !ok {
+			break
+		}
+		if e.ProcessPacket(&p) == Alert {
+			alerts++
+		}
+	}
+	st := e.Stats()
+	if st.Packets != uint64(total) {
+		t.Fatalf("processed %d of %d", st.Packets, total)
+	}
+	if alerts == 0 || st.Alerts != uint64(alerts) {
+		t.Fatalf("alerts = %d / stats %d", alerts, st.Alerts)
+	}
+	if e.Flows() == 0 || e.Flows() > 100 {
+		t.Fatalf("flows = %d", e.Flows())
+	}
+}
+
+func BenchmarkProcessPacket(b *testing.B) {
+	e := NewDefaultEngine()
+	p := pkt("GET /index.html HTTP/1.1")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.ProcessPacket(p)
+	}
+}

@@ -1,0 +1,113 @@
+// Package patterns contains the reusable C-Saw architecture descriptions of
+// the paper: remote snapshots (§5.1, use-cases ② and ③ of Fig. 1), N-ary
+// sharding (§5.2, use-case ④), parallel sharding (§7.1), caching (§7.2,
+// use-case ⑤), fail-over (§7.3, use-case ①) and watched fail-over (§7.4).
+//
+// Each builder returns a complete dsl.Program parameterized only by host
+// hooks (the ⌊H⌉ blocks) — the same architecture expression is applied
+// unchanged to mini-Redis, mini-cURL and mini-Suricata by the evaluation
+// harness, reproducing the paper's reusability finding ("our prototype
+// reused reconfiguration logic between Redis and Suricata", §12).
+package patterns
+
+import (
+	"time"
+
+	"csaw/internal/dsl"
+	"csaw/internal/formula"
+)
+
+// Instance and junction names used by the snapshot architecture (Fig. 4).
+const (
+	// ActInstance is the application-side instance.
+	ActInstance = "Act"
+	// AudInstance is the remote auditing/logging instance.
+	AudInstance = "Aud"
+	// SnapshotJunction is the single junction of both instances.
+	SnapshotJunction = "junction"
+)
+
+// SnapshotConfig parameterizes the remote-snapshot architecture.
+type SnapshotConfig struct {
+	// Timeout is the t parameter of Fig. 4: failure-awareness deadline for
+	// the write/assert/wait exchange and the auditor's retraction.
+	Timeout time.Duration
+	// Capture produces the serialized application state (the ⌊H1⌉;
+	// save(...,n) pair of Fig. 4).
+	Capture dsl.SourceFunc
+	// Apply consumes the state at the auditor (restore(n,...); ⌊H2⌉).
+	Apply dsl.SinkFunc
+	// Complain is invoked on unrecoverable failure (the complain() stub).
+	// Optional.
+	Complain dsl.HostFunc
+}
+
+func complainOr(f dsl.HostFunc) dsl.Expr {
+	if f == nil {
+		f = func(dsl.HostCtx) error { return nil }
+	}
+	return dsl.Host{Label: "complain", Fn: f}
+}
+
+// Snapshot builds the Fig. 4 program: a one-time remote snapshot from Act to
+// Aud with failure-awareness (timeouts) and retry-based tolerance. Invoking
+// Act's junction repeatedly yields the continuous-snapshot variant
+// (use-case ③): "This architecture can be reused for continuous remote
+// snapshots if we repeatedly invoke Act and Aud" (§5.1).
+func Snapshot(cfg SnapshotConfig) *dsl.Program {
+	p := dsl.NewProgram()
+
+	// def τActual :: (t)
+	p.Type("tauActual").Junction(SnapshotJunction, dsl.Def(
+		dsl.Decls(
+			dsl.InitProp{Name: "Work", Init: false},
+			dsl.InitData{Name: "n"},
+		),
+		// ⌊H1⌉; save(..., n);
+		dsl.Save{Data: "n", From: cfg.Capture},
+		// ⟨write(n, Aud); assert [Aud] Work; wait [] ¬Work⟩ otherwise[t] complain()
+		dsl.OtherwiseT(
+			dsl.Scope{Body: []dsl.Expr{
+				dsl.Write{Data: "n", To: dsl.J(AudInstance, SnapshotJunction)},
+				dsl.Assert{Target: dsl.J(AudInstance, SnapshotJunction), Prop: dsl.PR("Work")},
+				dsl.Wait{Cond: formula.Not(formula.P("Work"))},
+			}},
+			cfg.Timeout,
+			complainOr(cfg.Complain),
+		),
+	))
+
+	// def τAuditing :: (t)
+	p.Type("tauAuditing").Junction(SnapshotJunction, dsl.Def(
+		dsl.Decls(
+			dsl.InitProp{Name: "Work", Init: false},
+			dsl.InitProp{Name: "Retried", Init: false},
+			dsl.InitData{Name: "n"},
+		),
+		// restore(n, ...); ⌊H2⌉;
+		dsl.Restore{Data: "n", Into: cfg.Apply},
+		// retract [] Retried;  (reset on every scheduling, Fig. 4 note ➍)
+		dsl.Retract{Prop: dsl.PR("Retried")},
+		dsl.Case{
+			Arms: []dsl.CaseArm{
+				dsl.Arm(formula.P("Work"), dsl.TermReconsider,
+					dsl.OtherwiseT(
+						dsl.Retract{Target: dsl.J(ActInstance, SnapshotJunction), Prop: dsl.PR("Work")},
+						cfg.Timeout,
+						dsl.If{
+							Cond: formula.Not(formula.P("Retried")),
+							Then: dsl.Assert{Prop: dsl.PR("Retried")},
+							Else: complainOr(cfg.Complain),
+						},
+					),
+				),
+			},
+			Otherwise: []dsl.Expr{dsl.Skip{}},
+		},
+	).Guarded(formula.P("Work")))
+
+	p.Instance(ActInstance, "tauActual").Instance(AudInstance, "tauAuditing")
+	// def main(t) ◀ start Act(t) + start Aud(t)
+	p.SetMain(dsl.Par{dsl.Start{Instance: ActInstance}, dsl.Start{Instance: AudInstance}})
+	return p
+}

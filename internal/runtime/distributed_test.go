@@ -1,0 +1,174 @@
+package runtime
+
+import (
+	"context"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"csaw/internal/compart"
+	"csaw/internal/dsl"
+	"csaw/internal/formula"
+)
+
+// TestDistributedFig3OverTCP deploys the Fig. 3 architecture across two
+// separate compart networks bridged by real TCP sockets — instance f on
+// "machine A", instance g on "machine B" — exercising the full distributed
+// story: serialized junction updates, acks and wait wake-ups all cross the
+// wire.
+func TestDistributedFig3OverTCP(t *testing.T) {
+	var h2Ran atomic.Int32
+	var restored atomic.Value
+
+	build := func() *dsl.Program {
+		p := dsl.NewProgram()
+		p.Type("tau_f").Junction("junction", dsl.Def(
+			dsl.Decls(dsl.InitProp{Name: "Work", Init: false}, dsl.InitData{Name: "n"}),
+			dsl.Save{Data: "n", From: func(dsl.HostCtx) ([]byte, error) { return []byte("cross-machine state"), nil }},
+			dsl.Write{Data: "n", To: dsl.J("g", "junction")},
+			dsl.Assert{Target: dsl.J("g", "junction"), Prop: dsl.PR("Work")},
+			dsl.Wait{Cond: formula.Not(formula.P("Work"))},
+		))
+		p.Type("tau_g").Junction("junction", dsl.Def(
+			dsl.Decls(dsl.InitProp{Name: "Work", Init: false}, dsl.InitData{Name: "n"}),
+			dsl.Restore{Data: "n", Into: func(_ dsl.HostCtx, b []byte) error { restored.Store(string(b)); return nil }},
+			dsl.Host{Label: "H2", Fn: func(dsl.HostCtx) error { h2Ran.Add(1); return nil }},
+			dsl.Retract{Target: dsl.J("f", "junction"), Prop: dsl.PR("Work")},
+		).Guarded(formula.P("Work")))
+		p.Instance("f", "tau_f").Instance("g", "tau_g")
+		p.SetMain(dsl.Par{dsl.Start{Instance: "f"}, dsl.Start{Instance: "g"}})
+		return p
+	}
+
+	// Two "machines", each with its own substrate network.
+	netA := compart.NewNetwork(1)
+	netB := compart.NewNetwork(2)
+
+	sysA, err := New(build(), Options{Net: netA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sysA.Close()
+	sysB, err := New(build(), Options{Net: netB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sysB.Close()
+
+	// Expose each network over TCP and bridge the remote junction endpoints.
+	lA, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvA := compart.ServeTCP(netA, lA)
+	defer srvA.Close()
+	lB, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvB := compart.ServeTCP(netB, lB)
+	defer srvB.Close()
+
+	toB, err := compart.DialTCP(srvB.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer toB.Close()
+	toA, err := compart.DialTCP(srvA.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer toA.Close()
+
+	// Machine A hosts f and proxies g; machine B hosts g and proxies f.
+	if err := sysA.StartInstance("f", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := sysB.StartInstance("g", nil); err != nil {
+		t.Fatal(err)
+	}
+	compart.Bridge(netA, "g::junction", toB)
+	compart.Bridge(netB, "f::junction", toA)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for i := 0; i < 5; i++ {
+		if err := sysA.Invoke(ctx, "f", "junction"); err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+	}
+	if h2Ran.Load() != 5 {
+		t.Fatalf("H2 ran %d times on machine B, want 5", h2Ran.Load())
+	}
+	if got, _ := restored.Load().(string); got != "cross-machine state" {
+		t.Fatalf("g restored %q", got)
+	}
+}
+
+// TestDistributedTimeoutAcrossTCP verifies failure-awareness across the
+// wire: when machine B's system goes down, f's otherwise handler fires.
+func TestDistributedTimeoutAcrossTCP(t *testing.T) {
+	var complained atomic.Int32
+	p := dsl.NewProgram()
+	p.Type("tau_f").Junction("junction", dsl.Def(
+		dsl.Decls(dsl.InitProp{Name: "Work", Init: false}),
+		dsl.OtherwiseT(
+			dsl.Assert{Target: dsl.J("g", "junction"), Prop: dsl.PR("Work")},
+			150*time.Millisecond,
+			dsl.Host{Label: "complain", Fn: func(dsl.HostCtx) error { complained.Add(1); return nil }},
+		),
+	))
+	p.Type("tau_g").Junction("junction", dsl.Def(
+		dsl.Decls(dsl.InitProp{Name: "Work", Init: false}),
+		dsl.Skip{},
+	).Guarded(formula.P("Work")))
+	p.Instance("f", "tau_f").Instance("g", "tau_g")
+	p.SetMain(dsl.Par{dsl.Start{Instance: "f"}, dsl.Start{Instance: "g"}})
+
+	netA := compart.NewNetwork(1)
+	sysA, err := New(p, Options{Net: netA, AckTimeout: 150 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sysA.Close()
+	if err := sysA.StartInstance("f", nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Bridge g to a TCP endpoint that accepts but never acks (a hung peer).
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				buf := make([]byte, 4096)
+				for {
+					if _, err := conn.Read(buf); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	client, err := compart.DialTCP(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	compart.Bridge(netA, "g::junction", client)
+
+	if err := sysA.Invoke(context.Background(), "f", "junction"); err != nil {
+		t.Fatal(err)
+	}
+	if complained.Load() != 1 {
+		t.Fatalf("complain ran %d times; a silent remote peer must trip otherwise[t]", complained.Load())
+	}
+}

@@ -1,0 +1,489 @@
+package runtime
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"csaw/internal/dsl"
+	"csaw/internal/formula"
+	"csaw/internal/kv"
+)
+
+// Junction is a running junction: its KV table, idx/subset state and the
+// machinery to schedule its body.
+type Junction struct {
+	sys  *System
+	inst *Instance
+	def  *dsl.JunctionDef
+
+	// FQName is the junction's fully-qualified name "instance::junction".
+	FQName string
+
+	table *kv.Table
+
+	idxMu   sync.Mutex
+	sets    map[string][]string
+	subsets map[string][]string // nil slice = undef
+	idxs    map[string]string   // "" = undef
+
+	schedMu sync.Mutex // one scheduling at a time
+
+	driverOnce sync.Once
+	stopCh     chan struct{}
+	driverWG   sync.WaitGroup
+}
+
+func newJunction(s *System, inst *Instance, def *dsl.JunctionDef) *Junction {
+	j := &Junction{
+		sys:     s,
+		inst:    inst,
+		def:     def,
+		FQName:  inst.Name + "::" + def.Name,
+		table:   kv.NewTable(),
+		sets:    map[string][]string{},
+		subsets: map[string][]string{},
+		idxs:    map[string]string{},
+		stopCh:  make(chan struct{}),
+	}
+	for _, d := range def.Decls {
+		switch n := d.(type) {
+		case dsl.InitProp:
+			j.table.DeclareProp(j.resolveSelfName(n.Name), n.Init)
+		case dsl.InitData:
+			j.table.DeclareData(n.Name)
+		case dsl.DeclSet:
+			elems := make([]string, len(n.Elems))
+			for i, e := range n.Elems {
+				elems[i] = j.resolveSelfName(e)
+			}
+			j.sets[n.Name] = elems
+		case dsl.DeclSubset:
+			j.subsets[n.Name] = nil
+		case dsl.DeclIdx:
+			j.idxs[n.Name] = ""
+		}
+	}
+	return j
+}
+
+// resolveSelfName substitutes the me::instance / me::junction tokens with
+// the concrete instance name, so declarations like
+// "InitBackend[me::instance::serve]" resolve per instance (paper Fig. 14).
+func (j *Junction) resolveSelfName(name string) string {
+	name = strings.ReplaceAll(name, "me::junction", j.FQName)
+	name = strings.ReplaceAll(name, "me::instance", j.inst.Name)
+	return name
+}
+
+// Table exposes the junction's KV table (used by tests and the driver).
+func (j *Junction) Table() *kv.Table { return j.table }
+
+// Def returns the junction's definition.
+func (j *Junction) Def() *dsl.JunctionDef { return j.def }
+
+// Instance returns the owning instance name.
+func (j *Junction) Instance() string { return j.inst.Name }
+
+// applyImmediately is the ablation path bypassing the pending queue.
+func (j *Junction) applyImmediately(u kv.Update) {
+	j.table.ApplyNow(u)
+}
+
+// GuardTrue applies pending updates and evaluates the guard (true when the
+// junction has no guard).
+func (j *Junction) GuardTrue() bool {
+	if !j.sys.opts.DisableLocalPriority {
+		j.table.ApplyPending()
+	}
+	if j.def.Guard == nil {
+		return true
+	}
+	return j.def.Guard.Eval(j.env()) == formula.True
+}
+
+// Schedule runs the junction body once. It applies pending updates, checks
+// the guard (ErrNotSchedulable when not definitely true) and interprets the
+// body, honouring the retry bound.
+func (j *Junction) Schedule(ctx context.Context) error {
+	j.schedMu.Lock()
+	defer j.schedMu.Unlock()
+	if !j.inst.running.Load() {
+		return fmt.Errorf("%w: instance %q", ErrNotRunning, j.inst.Name)
+	}
+	if !j.sys.opts.DisableLocalPriority {
+		j.table.ApplyPending()
+	}
+	if j.def.Guard != nil && j.def.Guard.Eval(j.env()) != formula.True {
+		return fmt.Errorf("%w: %s guard %s", ErrNotSchedulable, j.FQName, j.def.Guard)
+	}
+
+	// retry branches back to the beginning of the junction, at most
+	// RetryLimit times within a single scheduling (paper §6).
+	for attempt := 0; ; attempt++ {
+		sig, err := j.exec(ctx, dsl.Seq(j.def.Body))
+		if err != nil {
+			return fmt.Errorf("%s: %w", j.FQName, err)
+		}
+		if sig == sigRetry {
+			if attempt+1 >= j.def.RetryLimit {
+				return fmt.Errorf("%s: %w (%d attempts)", j.FQName, ErrRetryExhausted, attempt+1)
+			}
+			continue
+		}
+		return nil
+	}
+}
+
+// startDriver launches the runtime-driven scheduling loop used for guarded
+// junctions: whenever the guard becomes true the body runs.
+func (j *Junction) startDriver() {
+	j.driverOnce.Do(func() {
+		j.driverWG.Add(1)
+		go func() {
+			defer j.driverWG.Done()
+			timer := time.NewTimer(j.sys.opts.Poll)
+			defer timer.Stop()
+			for {
+				select {
+				case <-j.stopCh:
+					return
+				default:
+				}
+				err := j.Schedule(context.Background())
+				if err == nil {
+					// Body ran; look again immediately — the guard may still
+					// hold (e.g. queued work).
+					continue
+				}
+				if !isNotSchedulable(err) && !errorsIsNotRunning(err) {
+					// Body failures are surfaced through the table's
+					// diagnostics hook if installed; the driver keeps going
+					// (a failed scheduling must not kill the junction).
+					j.sys.noteDriverError(j.FQName, err)
+				}
+				if !timer.Stop() {
+					select {
+					case <-timer.C:
+					default:
+					}
+				}
+				timer.Reset(j.sys.opts.Poll)
+				select {
+				case <-j.stopCh:
+					return
+				case <-j.table.Notify():
+				case <-timer.C:
+				}
+			}
+		}()
+	})
+}
+
+func (j *Junction) stopDriver() {
+	select {
+	case <-j.stopCh:
+	default:
+		close(j.stopCh)
+	}
+	j.driverWG.Wait()
+}
+
+func errorsIsNotRunning(err error) bool {
+	for e := err; e != nil; {
+		if e == ErrNotRunning {
+			return true
+		}
+		u, ok := e.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		e = u.Unwrap()
+	}
+	return false
+}
+
+// --- driver error diagnostics ----------------------------------------------
+
+// noteDriverError records the most recent body failure per junction so tests
+// and operators can inspect crash loops; it is deliberately lossy.
+func (s *System) noteDriverError(fq string, err error) {
+	s.ackMu.Lock() // reuse a small lock; contention is negligible
+	if s.driverErrs == nil {
+		s.driverErrs = map[string]error{}
+	}
+	s.driverErrs[fq] = err
+	s.ackMu.Unlock()
+}
+
+// LastDriverError returns the most recent driver-loop failure for a
+// junction, if any.
+func (s *System) LastDriverError(fq string) error {
+	s.ackMu.Lock()
+	defer s.ackMu.Unlock()
+	return s.driverErrs[fq]
+}
+
+// --- idx / subset state ------------------------------------------------------
+
+// setUniverse resolves a set or subset name to its element universe.
+func (j *Junction) setUniverse(name string) ([]string, bool) {
+	j.idxMu.Lock()
+	defer j.idxMu.Unlock()
+	return j.setUniverseLocked(name)
+}
+
+func (j *Junction) setUniverseLocked(name string) ([]string, bool) {
+	if elems, ok := j.sets[name]; ok {
+		return elems, true
+	}
+	if _, ok := j.subsets[name]; ok {
+		// The subset universe: its declared parent set. Find the decl.
+		for _, d := range j.def.Decls {
+			if sd, ok := d.(dsl.DeclSubset); ok && sd.Name == name {
+				return j.setUniverseLocked(sd.Of)
+			}
+		}
+	}
+	return nil, false
+}
+
+// SetIdx assigns an idx variable. The element must belong to the idx's
+// underlying set or subset (the paper's contract with the host language).
+func (j *Junction) SetIdx(name, elem string) error {
+	elem = j.resolveSelfName(elem)
+	j.idxMu.Lock()
+	defer j.idxMu.Unlock()
+	if _, ok := j.idxs[name]; !ok {
+		return fmt.Errorf("runtime: %s: idx %q not declared", j.FQName, name)
+	}
+	for _, d := range j.def.Decls {
+		if id, ok := d.(dsl.DeclIdx); ok && id.Name == name {
+			universe, ok := j.setUniverseLocked(id.Of)
+			if !ok {
+				return fmt.Errorf("runtime: %s: idx %q has unresolvable set %q", j.FQName, name, id.Of)
+			}
+			// If the idx ranges over a subset, membership is against the
+			// subset's current value.
+			if members, isSub := j.subsets[id.Of]; isSub {
+				if members == nil {
+					return fmt.Errorf("runtime: %s: idx %q over undef subset %q", j.FQName, name, id.Of)
+				}
+				universe = members
+			}
+			for _, e := range universe {
+				if e == elem {
+					j.idxs[name] = elem
+					return nil
+				}
+			}
+			return fmt.Errorf("runtime: %s: element %q outside set of idx %q", j.FQName, elem, name)
+		}
+	}
+	return fmt.Errorf("runtime: %s: idx %q declaration missing", j.FQName, name)
+}
+
+// Idx resolves an idx variable; error when undef.
+func (j *Junction) Idx(name string) (string, error) {
+	j.idxMu.Lock()
+	defer j.idxMu.Unlock()
+	v, ok := j.idxs[name]
+	if !ok {
+		return "", fmt.Errorf("runtime: %s: idx %q not declared", j.FQName, name)
+	}
+	if v == "" {
+		return "", fmt.Errorf("%w: %s.%s", ErrIdxUndef, j.FQName, name)
+	}
+	return v, nil
+}
+
+// SetSubset replaces a subset's membership; every element must belong to the
+// parent set.
+func (j *Junction) SetSubset(name string, elems []string) error {
+	resolved := make([]string, len(elems))
+	for i, e := range elems {
+		resolved[i] = j.resolveSelfName(e)
+	}
+	j.idxMu.Lock()
+	defer j.idxMu.Unlock()
+	if _, ok := j.subsets[name]; !ok {
+		return fmt.Errorf("runtime: %s: subset %q not declared", j.FQName, name)
+	}
+	var parent []string
+	for _, d := range j.def.Decls {
+		if sd, ok := d.(dsl.DeclSubset); ok && sd.Name == name {
+			parent, _ = j.setUniverseLocked(sd.Of)
+		}
+	}
+	for _, e := range resolved {
+		found := false
+		for _, p := range parent {
+			if p == e {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("runtime: %s: element %q outside parent set of subset %q", j.FQName, e, name)
+		}
+	}
+	if resolved == nil {
+		resolved = []string{}
+	}
+	j.subsets[name] = resolved
+	return nil
+}
+
+// Subset returns a subset's current membership; error when undef.
+func (j *Junction) Subset(name string) ([]string, error) {
+	j.idxMu.Lock()
+	defer j.idxMu.Unlock()
+	v, ok := j.subsets[name]
+	if !ok {
+		return nil, fmt.Errorf("runtime: %s: subset %q not declared", j.FQName, name)
+	}
+	if v == nil {
+		return nil, fmt.Errorf("runtime: %s: subset %q is undef", j.FQName, name)
+	}
+	return append([]string(nil), v...), nil
+}
+
+// --- name & reference resolution --------------------------------------------
+
+// resolvePropName resolves a PropRef against the junction's idx state and
+// self tokens to the flat table key.
+func (j *Junction) resolvePropName(pr dsl.PropRef) (string, error) {
+	if pr.Index == "" {
+		return j.resolveSelfName(pr.Base), nil
+	}
+	if pr.IndexIsVar {
+		elem, err := j.Idx(pr.Index)
+		if err != nil {
+			return "", err
+		}
+		return dsl.IndexedName(pr.Base, elem), nil
+	}
+	return dsl.IndexedName(pr.Base, j.resolveSelfName(pr.Index)), nil
+}
+
+// resolveTarget resolves a junction reference to the fully-qualified
+// endpoint name of the target junction.
+func (j *Junction) resolveTarget(ref dsl.JunctionRef) (string, error) {
+	switch {
+	case ref.MeJunction:
+		return j.FQName, nil
+	case ref.MeInstance:
+		return j.inst.Name + "::" + ref.Junction, nil
+	case ref.Idx != "":
+		elem, err := j.Idx(ref.Idx)
+		if err != nil {
+			return "", err
+		}
+		return j.elemToFQ(elem)
+	case ref.Instance != "":
+		if ref.Junction != "" {
+			return ref.Instance + "::" + ref.Junction, nil
+		}
+		return j.elemToFQ(ref.Instance)
+	default:
+		return "", fmt.Errorf("runtime: %s: empty junction reference", j.FQName)
+	}
+}
+
+// elemToFQ interprets a set element as a fully-qualified junction name.
+func (j *Junction) elemToFQ(elem string) (string, error) {
+	elem = j.resolveSelfName(elem)
+	if strings.Contains(elem, "::") {
+		return elem, nil
+	}
+	inst, jn, err := dsl.ResolveElemJunction(j.sys.prog, elem)
+	if err != nil {
+		return "", fmt.Errorf("runtime: %s: %v", j.FQName, err)
+	}
+	return inst + "::" + jn, nil
+}
+
+// env builds the formula environment for this junction: local propositions
+// from its table, junction-qualified propositions by reading the referenced
+// junction's table (Unknown when it is not running), and the special
+// "@running" proposition reporting liveness.
+func (j *Junction) env() formula.Env {
+	return formula.EnvFunc(func(junction, name string) formula.Truth {
+		if junction == "" {
+			return j.localProp(name)
+		}
+		fq, err := j.elemToFQ(j.resolveSelfName(junction))
+		if err != nil {
+			return formula.Unknown
+		}
+		inst, jn, ok := strings.Cut(fq, "::")
+		if !ok {
+			return formula.Unknown
+		}
+		other := j.sys.junctionQuiet(inst, jn)
+		if other == nil || !other.inst.running.Load() {
+			if name == RunningProp {
+				return formula.False
+			}
+			return formula.Unknown
+		}
+		if name == RunningProp {
+			return formula.True
+		}
+		return other.localPropResolvedBy(j, name)
+	})
+}
+
+// RunningProp is the distinguished proposition name for the S(x) liveness
+// predicate used in guards of the watched fail-over architecture (Fig. 16).
+const RunningProp = "@running"
+
+// Running builds the S(x) predicate as a formula: true iff the referenced
+// instance/junction is running.
+func Running(elem string) formula.Formula { return formula.At(elem, RunningProp) }
+
+// localProp evaluates a local proposition name, resolving idx indices and
+// self tokens; undeclared names are Unknown.
+func (j *Junction) localProp(name string) formula.Truth {
+	return j.localPropResolvedBy(j, name)
+}
+
+// localPropResolvedBy reads proposition name from j's table, but resolves
+// $idx index variables against resolver's idx state (a formula like
+// ¬Work[tgt] inside junction f reads f's tgt even when evaluating against a
+// remote table).
+func (j *Junction) localPropResolvedBy(resolver *Junction, name string) formula.Truth {
+	if base, idxVar, ok := dsl.SplitIdxProp(name); ok {
+		elem, err := resolver.Idx(idxVar)
+		if err != nil {
+			return formula.Unknown
+		}
+		name = dsl.IndexedName(base, elem)
+	} else {
+		name = resolver.resolveSelfName(name)
+	}
+	v, err := j.table.Prop(name)
+	if err != nil {
+		return formula.Unknown
+	}
+	return formula.FromBool(v)
+}
+
+// --- external (application-side) injection ------------------------------------
+
+// InjectProp delivers an externally-originated proposition update to this
+// junction's table, exactly as a remote assert/retract would (queued until
+// the next scheduling, or admitted by an active wait). The paper's fail-over
+// example relies on this: "Req is asserted externally to process client
+// request" (Fig. 13).
+func (j *Junction) InjectProp(name string, value bool) {
+	j.table.Enqueue(kv.Update{Kind: kv.UpdateProp, Key: j.resolveSelfName(name), Bool: value, From: "external"})
+}
+
+// InjectData delivers externally-originated named data, as a remote write
+// would.
+func (j *Junction) InjectData(name string, payload []byte) {
+	j.table.Enqueue(kv.Update{Kind: kv.UpdateData, Key: name, Data: payload, From: "external"})
+}

@@ -1,0 +1,446 @@
+// Package runtime executes C-Saw programs: it instantiates instance types,
+// owns each junction's KV table, schedules junction bodies under their
+// guards, and carries assert/retract/write updates between junctions over
+// the compart substrate.
+//
+// The execution model follows the paper: a junction's execution is scheduled
+// either by application logic (Invoke) or, for guarded junctions, by the
+// runtime's driver loop, which schedules the junction whenever its guard
+// becomes true. Remote updates are acknowledged at delivery so that
+// `otherwise[t]` gives real failure-awareness: a crashed or partitioned peer
+// makes the updating statement fail.
+package runtime
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"csaw/internal/compart"
+	"csaw/internal/dsl"
+	"csaw/internal/kv"
+)
+
+// Options configures a System.
+type Options struct {
+	// Net is the substrate network. A fresh in-process network is created
+	// when nil.
+	Net *compart.Network
+	// AckTimeout bounds how long a remote update waits for its delivery
+	// acknowledgment when no otherwise[t] deadline is in force.
+	AckTimeout time.Duration
+	// Poll is the driver loop's fallback wake interval, needed for guards
+	// that reference remote junction state.
+	Poll time.Duration
+	// ReconsiderLimit bounds how many times a single case expression may be
+	// re-entered through reconsider within one scheduling.
+	ReconsiderLimit int
+	// DisableLocalPriority turns off the paper's local-priority rule
+	// (ablation only: remote updates then apply immediately on arrival).
+	DisableLocalPriority bool
+}
+
+func (o *Options) fill() {
+	if o.AckTimeout <= 0 {
+		o.AckTimeout = time.Second
+	}
+	if o.Poll <= 0 {
+		o.Poll = 2 * time.Millisecond
+	}
+	if o.ReconsiderLimit <= 0 {
+		o.ReconsiderLimit = 16
+	}
+}
+
+// System is a running C-Saw program.
+type System struct {
+	prog *dsl.Program
+	net  *compart.Network
+	opts Options
+
+	mu        sync.Mutex
+	instances map[string]*Instance
+	apps      map[string]any
+
+	ackSeq     atomic.Uint64
+	ackMu      sync.Mutex
+	ackWait    map[uint64]chan struct{}
+	driverErrs map[string]error
+
+	closed atomic.Bool
+}
+
+// Instance is one running (or stopped) instance of an instance type.
+type Instance struct {
+	sys       *System
+	Name      string
+	TypeName  string
+	junctions map[string]*Junction
+	running   atomic.Bool
+	app       any
+}
+
+// New validates the program and builds a system for it. The system starts no
+// instances; call RunMain or StartInstance.
+func New(p *dsl.Program, opts Options) (*System, error) {
+	if err := dsl.Validate(p); err != nil {
+		return nil, err
+	}
+	opts.fill()
+	net := opts.Net
+	if net == nil {
+		net = compart.NewNetwork(1)
+	}
+	s := &System{
+		prog:      p,
+		net:       net,
+		opts:      opts,
+		instances: map[string]*Instance{},
+		apps:      map[string]any{},
+		ackWait:   map[uint64]chan struct{}{},
+	}
+	return s, nil
+}
+
+// Net exposes the substrate network (for fault injection in tests and
+// benchmarks).
+func (s *System) Net() *compart.Network { return s.net }
+
+// Program returns the program the system executes.
+func (s *System) Program() *dsl.Program { return s.prog }
+
+// SetApp installs the application context an instance's host blocks will see
+// via HostCtx.App. Must be called before the instance starts.
+func (s *System) SetApp(instance string, app any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.apps[instance] = app
+}
+
+// RunMain executes the program's main body (start/stop compositions).
+func (s *System) RunMain(ctx context.Context) error {
+	_, err := s.execMain(ctx, dsl.Seq(s.prog.Main))
+	return err
+}
+
+// execMain interprets the restricted statement forms allowed in main.
+func (s *System) execMain(ctx context.Context, e dsl.Expr) (signal, error) {
+	switch n := e.(type) {
+	case dsl.Seq:
+		for _, c := range n {
+			if sig, err := s.execMain(ctx, c); err != nil || sig != sigNone {
+				return sig, err
+			}
+		}
+		return sigNone, nil
+	case dsl.Par:
+		var wg sync.WaitGroup
+		errs := make([]error, len(n))
+		for i, c := range n {
+			wg.Add(1)
+			go func(i int, c dsl.Expr) {
+				defer wg.Done()
+				_, errs[i] = s.execMain(ctx, c)
+			}(i, c)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return sigNone, err
+			}
+		}
+		return sigNone, nil
+	case dsl.Start:
+		return sigNone, s.StartInstance(n.Instance, n.Args)
+	case dsl.Stop:
+		return sigNone, s.StopInstance(n.Instance)
+	case dsl.Skip:
+		return sigNone, nil
+	case dsl.Scope:
+		return s.execMain(ctx, dsl.Seq(n.Body))
+	case dsl.Otherwise:
+		sub := ctx
+		cancel := func() {}
+		if n.Timeout > 0 {
+			sub, cancel = context.WithTimeout(ctx, n.Timeout)
+		}
+		_, err := s.execMain(sub, n.Try)
+		cancel()
+		if err == nil {
+			return sigNone, nil
+		}
+		return s.execMain(ctx, n.Handler)
+	default:
+		return sigNone, fmt.Errorf("runtime: statement %s not allowed in main", e)
+	}
+}
+
+// StartInstance starts an instance: its junction tables are (re)initialized,
+// endpoints registered, and driver loops launched for guarded junctions.
+func (s *System) StartInstance(name string, args any) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.startLocked(name, args)
+}
+
+func (s *System) startLocked(name string, args any) error {
+	tn, ok := s.prog.Instances[name]
+	if !ok {
+		return fmt.Errorf("runtime: unknown instance %q", name)
+	}
+	if inst, ok := s.instances[name]; ok && inst.running.Load() {
+		return fmt.Errorf("%w: %q", ErrAlreadyStarted, name)
+	}
+	t := s.prog.Types[tn]
+	inst := &Instance{sys: s, Name: name, TypeName: tn, junctions: map[string]*Junction{}}
+	if args != nil {
+		inst.app = args
+	} else {
+		inst.app = s.apps[name]
+	}
+	for _, jn := range t.JunctionNames() {
+		def := t.Junctions[jn]
+		j := newJunction(s, inst, def)
+		inst.junctions[jn] = j
+		s.net.Register(j.FQName, j.handleMessage)
+	}
+	inst.running.Store(true)
+	s.instances[name] = inst
+	// Junctions are started concurrently in an arbitrary order (paper §6):
+	// guarded junctions get driver loops; unguarded junctions are scheduled
+	// by application logic through Invoke.
+	for _, j := range inst.junctions {
+		if j.def.Guard != nil && !j.def.Manual {
+			j.startDriver()
+		}
+	}
+	return nil
+}
+
+// StopInstance gracefully stops a running instance: drivers stop and
+// endpoints deregister. The instance may be started again later.
+func (s *System) StopInstance(name string) error {
+	s.mu.Lock()
+	inst, ok := s.instances[name]
+	if !ok || !inst.running.Load() {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrNotRunning, name)
+	}
+	inst.running.Store(false)
+	for _, j := range inst.junctions {
+		s.net.Deregister(j.FQName)
+	}
+	s.mu.Unlock()
+	for _, j := range inst.junctions {
+		j.stopDriver()
+	}
+	return nil
+}
+
+// CrashInstance simulates an abrupt failure: endpoints go down (peers get
+// ErrEndpointDown / silence), drivers stop, state is lost. Unlike
+// StopInstance it never errors — crashing a dead instance is a no-op.
+func (s *System) CrashInstance(name string) {
+	s.mu.Lock()
+	inst, ok := s.instances[name]
+	if !ok {
+		s.mu.Unlock()
+		return
+	}
+	inst.running.Store(false)
+	for _, j := range inst.junctions {
+		s.net.Crash(j.FQName)
+	}
+	s.mu.Unlock()
+	for _, j := range inst.junctions {
+		j.stopDriver()
+	}
+}
+
+// InstanceRunning reports whether the named instance is currently running.
+func (s *System) InstanceRunning(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	inst, ok := s.instances[name]
+	return ok && inst.running.Load()
+}
+
+// Junction returns a running junction by instance and junction name.
+func (s *System) Junction(instance, junction string) (*Junction, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	inst, ok := s.instances[instance]
+	if !ok {
+		return nil, fmt.Errorf("runtime: instance %q not started", instance)
+	}
+	j, ok := inst.junctions[junction]
+	if !ok {
+		return nil, fmt.Errorf("runtime: instance %q has no junction %q", instance, junction)
+	}
+	return j, nil
+}
+
+// junctionQuiet is Junction without error wrapping, tolerating absence.
+func (s *System) junctionQuiet(instance, junction string) *Junction {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	inst, ok := s.instances[instance]
+	if !ok {
+		return nil
+	}
+	return inst.junctions[junction]
+}
+
+// Invoke schedules a junction once from application logic: pending updates
+// are applied, the guard is checked (ErrNotSchedulable when not definitely
+// true) and the body runs to completion.
+func (s *System) Invoke(ctx context.Context, instance, junction string) error {
+	j, err := s.Junction(instance, junction)
+	if err != nil {
+		return err
+	}
+	return j.Schedule(ctx)
+}
+
+// InvokeWhenReady blocks until the junction's guard is true (or ctx ends),
+// then schedules it.
+func (s *System) InvokeWhenReady(ctx context.Context, instance, junction string) error {
+	j, err := s.Junction(instance, junction)
+	if err != nil {
+		return err
+	}
+	for {
+		err := j.Schedule(ctx)
+		if err == nil || !isNotSchedulable(err) {
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("%w: %v", ErrTimeout, ctx.Err())
+		case <-j.Table().Notify():
+		case <-time.After(s.opts.Poll):
+		}
+	}
+}
+
+func isNotSchedulable(err error) bool {
+	for e := err; e != nil; {
+		if e == ErrNotSchedulable {
+			return true
+		}
+		u, ok := e.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		e = u.Unwrap()
+	}
+	return false
+}
+
+// Close shuts the system down: all instances stop and the network closes.
+func (s *System) Close() {
+	if s.closed.Swap(true) {
+		return
+	}
+	s.mu.Lock()
+	insts := make([]*Instance, 0, len(s.instances))
+	for _, inst := range s.instances {
+		insts = append(insts, inst)
+	}
+	s.mu.Unlock()
+	for _, inst := range insts {
+		if inst.running.Load() {
+			_ = s.StopInstance(inst.Name)
+		}
+	}
+	s.net.Close()
+}
+
+// --- remote update plumbing -------------------------------------------------
+
+// sendUpdate ships one assert/retract/write to a remote junction and waits
+// for its delivery acknowledgment. The wait respects ctx's deadline and is
+// bounded by AckTimeout.
+func (s *System) sendUpdate(ctx context.Context, from, to string, kind compart.MessageKind, key string, flag bool, payload []byte) error {
+	seq := s.ackSeq.Add(1)
+	ch := make(chan struct{}, 1)
+	s.ackMu.Lock()
+	s.ackWait[seq] = ch
+	s.ackMu.Unlock()
+	defer func() {
+		s.ackMu.Lock()
+		delete(s.ackWait, seq)
+		s.ackMu.Unlock()
+	}()
+
+	body := make([]byte, 8+len(payload))
+	binary.BigEndian.PutUint64(body, seq)
+	copy(body[8:], payload)
+	if err := s.net.Send(compart.Message{From: from, To: to, Kind: kind, Key: key, Flag: flag, Payload: body}); err != nil {
+		return fmt.Errorf("%w: %v", ErrSendFailed, err)
+	}
+	timer := time.NewTimer(s.opts.AckTimeout)
+	defer timer.Stop()
+	select {
+	case <-ch:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("%w: awaiting ack from %s", ErrTimeout, to)
+	case <-timer.C:
+		return fmt.Errorf("%w: no ack from %s within %s", ErrSendFailed, to, s.opts.AckTimeout)
+	}
+}
+
+// ack resolves a pending acknowledgment.
+func (s *System) ack(seq uint64) {
+	s.ackMu.Lock()
+	ch, ok := s.ackWait[seq]
+	s.ackMu.Unlock()
+	if ok {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// handleMessage is installed per junction endpoint; defined here because it
+// needs the ack plumbing. kind KindControl with key "ack" resolves an ack;
+// prop/data messages enqueue a KV update and acknowledge delivery.
+func (j *Junction) handleMessage(m compart.Message) {
+	switch m.Kind {
+	case compart.KindControl:
+		if m.Key == "ack" && len(m.Payload) >= 8 {
+			j.sys.ack(binary.BigEndian.Uint64(m.Payload))
+		}
+	case compart.KindProp, compart.KindData:
+		if len(m.Payload) < 8 {
+			return
+		}
+		seq := binary.BigEndian.Uint64(m.Payload)
+		payload := m.Payload[8:]
+		u := kv.Update{Key: m.Key, From: m.From}
+		if m.Kind == compart.KindProp {
+			u.Kind = kv.UpdateProp
+			u.Bool = m.Flag
+		} else {
+			u.Kind = kv.UpdateData
+			u.Data = append([]byte(nil), payload...)
+		}
+		if j.sys.opts.DisableLocalPriority {
+			// Ablation mode: apply immediately, bypassing the pending queue.
+			j.applyImmediately(u)
+		} else {
+			j.table.Enqueue(u)
+		}
+		// Acknowledge delivery back to the sender.
+		var ackBody [8]byte
+		binary.BigEndian.PutUint64(ackBody[:], seq)
+		_ = j.sys.net.Send(compart.Message{
+			From: j.FQName, To: m.From, Kind: compart.KindControl, Key: "ack", Payload: ackBody[:],
+		})
+	}
+}

@@ -1,0 +1,468 @@
+// Package serial is the data-structure serialization framework supporting
+// C-Saw's save/restore/write primitives — the Go analogue of the paper's
+// C-strider-based tool (§9).
+//
+// Like the paper's serializer it performs a type-aware traversal of values
+// guided by their (reflected) type structure, requires no per-type
+// hand-written code, and bounds recursion: recursive datatypes such as
+// linked lists are serialized only up to a configurable maximum depth, which
+// protects the serialization buffer from unbounded or cyclic structures.
+// Deeper content is truncated to nil, mirroring the paper's "recursive
+// datatypes up to a maximum, though configurable, recursion depth".
+package serial
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"reflect"
+	"sort"
+)
+
+// Errors reported by the codec.
+var (
+	// ErrTooDeep is returned by strict-mode Marshal when the value exceeds
+	// MaxDepth.
+	ErrTooDeep = errors.New("serial: value exceeds max depth")
+	// ErrTooLarge is returned when the encoded form exceeds MaxBytes.
+	ErrTooLarge = errors.New("serial: encoded value exceeds max bytes")
+	// ErrCorrupt is returned on malformed input.
+	ErrCorrupt = errors.New("serial: corrupt encoding")
+	// ErrType is returned for unsupported kinds (chan, func, unsafe).
+	ErrType = errors.New("serial: unsupported type")
+)
+
+// Config controls traversal bounds.
+type Config struct {
+	// MaxDepth bounds pointer/container recursion. Zero means the default
+	// of 32.
+	MaxDepth int
+	// MaxBytes bounds the encoded size. Zero means the default of 8 MiB.
+	MaxBytes int
+	// Strict makes depth overflow an error instead of truncating to nil.
+	Strict bool
+}
+
+func (c Config) maxDepth() int {
+	if c.MaxDepth <= 0 {
+		return 32
+	}
+	return c.MaxDepth
+}
+
+func (c Config) maxBytes() int {
+	if c.MaxBytes <= 0 {
+		return 8 << 20
+	}
+	return c.MaxBytes
+}
+
+// Default is the zero-config codec used by Marshal/Unmarshal.
+var Default = Config{}
+
+// Marshal encodes v with the default configuration.
+func Marshal(v any) ([]byte, error) { return Default.Marshal(v) }
+
+// Unmarshal decodes data into the pointer dst with the default configuration.
+func Unmarshal(data []byte, dst any) error { return Default.Unmarshal(data, dst) }
+
+// Tags of the wire format.
+const (
+	tagNil = iota
+	tagBool
+	tagInt
+	tagUint
+	tagFloat
+	tagString
+	tagBytes
+	tagSlice
+	tagArray
+	tagMap
+	tagStruct
+	tagPtr
+	tagTrunc // depth-truncated subtree (decodes to the zero value)
+)
+
+// Marshal encodes a value using type-aware traversal.
+func (c Config) Marshal(v any) ([]byte, error) {
+	e := &encoder{cfg: c}
+	if err := e.encode(reflect.ValueOf(v), c.maxDepth()); err != nil {
+		return nil, err
+	}
+	if len(e.buf) > c.maxBytes() {
+		return nil, fmt.Errorf("%w: %d bytes", ErrTooLarge, len(e.buf))
+	}
+	return e.buf, nil
+}
+
+type encoder struct {
+	cfg Config
+	buf []byte
+}
+
+func (e *encoder) tag(t byte) { e.buf = append(e.buf, t) }
+
+func (e *encoder) uvarint(u uint64) { e.buf = binary.AppendUvarint(e.buf, u) }
+
+func (e *encoder) varint(i int64) { e.buf = binary.AppendVarint(e.buf, i) }
+
+func (e *encoder) encode(v reflect.Value, depth int) error {
+	if !v.IsValid() {
+		e.tag(tagNil)
+		return nil
+	}
+	if depth <= 0 {
+		if e.cfg.Strict {
+			return ErrTooDeep
+		}
+		e.tag(tagTrunc)
+		return nil
+	}
+	switch v.Kind() {
+	case reflect.Bool:
+		e.tag(tagBool)
+		if v.Bool() {
+			e.buf = append(e.buf, 1)
+		} else {
+			e.buf = append(e.buf, 0)
+		}
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		e.tag(tagInt)
+		e.varint(v.Int())
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr:
+		e.tag(tagUint)
+		e.uvarint(v.Uint())
+	case reflect.Float32, reflect.Float64:
+		e.tag(tagFloat)
+		var b [8]byte
+		binary.BigEndian.PutUint64(b[:], math.Float64bits(v.Float()))
+		e.buf = append(e.buf, b[:]...)
+	case reflect.String:
+		e.tag(tagString)
+		s := v.String()
+		e.uvarint(uint64(len(s)))
+		e.buf = append(e.buf, s...)
+	case reflect.Slice:
+		if v.IsNil() {
+			e.tag(tagNil)
+			return nil
+		}
+		if v.Type().Elem().Kind() == reflect.Uint8 {
+			e.tag(tagBytes)
+			b := v.Bytes()
+			e.uvarint(uint64(len(b)))
+			e.buf = append(e.buf, b...)
+			return nil
+		}
+		e.tag(tagSlice)
+		e.uvarint(uint64(v.Len()))
+		for i := 0; i < v.Len(); i++ {
+			if err := e.encode(v.Index(i), depth-1); err != nil {
+				return err
+			}
+		}
+	case reflect.Array:
+		e.tag(tagArray)
+		e.uvarint(uint64(v.Len()))
+		for i := 0; i < v.Len(); i++ {
+			if err := e.encode(v.Index(i), depth-1); err != nil {
+				return err
+			}
+		}
+	case reflect.Map:
+		if v.IsNil() {
+			e.tag(tagNil)
+			return nil
+		}
+		e.tag(tagMap)
+		e.uvarint(uint64(v.Len()))
+		// Deterministic key order: encode keys, sort by encoding.
+		type kv struct{ k, val reflect.Value }
+		pairs := make([]kv, 0, v.Len())
+		iter := v.MapRange()
+		for iter.Next() {
+			pairs = append(pairs, kv{iter.Key(), iter.Value()})
+		}
+		keyEncs := make([][]byte, len(pairs))
+		for i, p := range pairs {
+			sub := &encoder{cfg: e.cfg}
+			if err := sub.encode(p.k, depth-1); err != nil {
+				return err
+			}
+			keyEncs[i] = sub.buf
+		}
+		idx := make([]int, len(pairs))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool {
+			return string(keyEncs[idx[a]]) < string(keyEncs[idx[b]])
+		})
+		for _, i := range idx {
+			e.buf = append(e.buf, keyEncs[i]...)
+			if err := e.encode(pairs[i].val, depth-1); err != nil {
+				return err
+			}
+		}
+	case reflect.Struct:
+		e.tag(tagStruct)
+		t := v.Type()
+		// Count exported fields first.
+		n := 0
+		for i := 0; i < t.NumField(); i++ {
+			if t.Field(i).IsExported() {
+				n++
+			}
+		}
+		e.uvarint(uint64(n))
+		for i := 0; i < t.NumField(); i++ {
+			if !t.Field(i).IsExported() {
+				continue
+			}
+			if err := e.encode(v.Field(i), depth-1); err != nil {
+				return err
+			}
+		}
+	case reflect.Pointer:
+		if v.IsNil() {
+			e.tag(tagNil)
+			return nil
+		}
+		e.tag(tagPtr)
+		return e.encode(v.Elem(), depth-1)
+	case reflect.Interface:
+		if v.IsNil() {
+			e.tag(tagNil)
+			return nil
+		}
+		// Interfaces are traversed through their dynamic value; decoding
+		// requires a concrete destination type.
+		return e.encode(v.Elem(), depth)
+	default:
+		return fmt.Errorf("%w: %s", ErrType, v.Kind())
+	}
+	return nil
+}
+
+// Unmarshal decodes into dst, which must be a non-nil pointer. The
+// destination type drives the traversal, mirroring how the generated
+// serializers in the paper are driven by the analyzed type definitions.
+func (c Config) Unmarshal(data []byte, dst any) error {
+	rv := reflect.ValueOf(dst)
+	if rv.Kind() != reflect.Pointer || rv.IsNil() {
+		return fmt.Errorf("%w: destination must be a non-nil pointer", ErrType)
+	}
+	d := &decoder{buf: data}
+	if err := d.decode(rv.Elem()); err != nil {
+		return err
+	}
+	if len(d.buf) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(d.buf))
+	}
+	return nil
+}
+
+type decoder struct{ buf []byte }
+
+func (d *decoder) take(n int) ([]byte, error) {
+	if len(d.buf) < n {
+		return nil, fmt.Errorf("%w: need %d bytes, have %d", ErrCorrupt, n, len(d.buf))
+	}
+	b := d.buf[:n]
+	d.buf = d.buf[n:]
+	return b, nil
+}
+
+func (d *decoder) tag() (byte, error) {
+	b, err := d.take(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (d *decoder) uvarint() (uint64, error) {
+	u, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: bad uvarint", ErrCorrupt)
+	}
+	d.buf = d.buf[n:]
+	return u, nil
+}
+
+func (d *decoder) varint() (int64, error) {
+	i, n := binary.Varint(d.buf)
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: bad varint", ErrCorrupt)
+	}
+	d.buf = d.buf[n:]
+	return i, nil
+}
+
+func (d *decoder) decode(v reflect.Value) error {
+	t, err := d.tag()
+	if err != nil {
+		return err
+	}
+	switch t {
+	case tagNil, tagTrunc:
+		v.Set(reflect.Zero(v.Type()))
+		return nil
+	case tagBool:
+		b, err := d.take(1)
+		if err != nil {
+			return err
+		}
+		if v.Kind() != reflect.Bool {
+			return typeMismatch("bool", v)
+		}
+		v.SetBool(b[0] == 1)
+	case tagInt:
+		i, err := d.varint()
+		if err != nil {
+			return err
+		}
+		switch v.Kind() {
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+			v.SetInt(i)
+		default:
+			return typeMismatch("int", v)
+		}
+	case tagUint:
+		u, err := d.uvarint()
+		if err != nil {
+			return err
+		}
+		switch v.Kind() {
+		case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr:
+			v.SetUint(u)
+		default:
+			return typeMismatch("uint", v)
+		}
+	case tagFloat:
+		b, err := d.take(8)
+		if err != nil {
+			return err
+		}
+		switch v.Kind() {
+		case reflect.Float32, reflect.Float64:
+			v.SetFloat(math.Float64frombits(binary.BigEndian.Uint64(b)))
+		default:
+			return typeMismatch("float", v)
+		}
+	case tagString:
+		n, err := d.uvarint()
+		if err != nil {
+			return err
+		}
+		b, err := d.take(int(n))
+		if err != nil {
+			return err
+		}
+		if v.Kind() != reflect.String {
+			return typeMismatch("string", v)
+		}
+		v.SetString(string(b))
+	case tagBytes:
+		n, err := d.uvarint()
+		if err != nil {
+			return err
+		}
+		b, err := d.take(int(n))
+		if err != nil {
+			return err
+		}
+		if v.Kind() != reflect.Slice || v.Type().Elem().Kind() != reflect.Uint8 {
+			return typeMismatch("[]byte", v)
+		}
+		v.SetBytes(append([]byte(nil), b...))
+	case tagSlice:
+		n, err := d.uvarint()
+		if err != nil {
+			return err
+		}
+		if v.Kind() != reflect.Slice {
+			return typeMismatch("slice", v)
+		}
+		s := reflect.MakeSlice(v.Type(), int(n), int(n))
+		for i := 0; i < int(n); i++ {
+			if err := d.decode(s.Index(i)); err != nil {
+				return err
+			}
+		}
+		v.Set(s)
+	case tagArray:
+		n, err := d.uvarint()
+		if err != nil {
+			return err
+		}
+		if v.Kind() != reflect.Array || v.Len() != int(n) {
+			return typeMismatch("array", v)
+		}
+		for i := 0; i < int(n); i++ {
+			if err := d.decode(v.Index(i)); err != nil {
+				return err
+			}
+		}
+	case tagMap:
+		n, err := d.uvarint()
+		if err != nil {
+			return err
+		}
+		if v.Kind() != reflect.Map {
+			return typeMismatch("map", v)
+		}
+		m := reflect.MakeMapWithSize(v.Type(), int(n))
+		for i := 0; i < int(n); i++ {
+			k := reflect.New(v.Type().Key()).Elem()
+			if err := d.decode(k); err != nil {
+				return err
+			}
+			val := reflect.New(v.Type().Elem()).Elem()
+			if err := d.decode(val); err != nil {
+				return err
+			}
+			m.SetMapIndex(k, val)
+		}
+		v.Set(m)
+	case tagStruct:
+		n, err := d.uvarint()
+		if err != nil {
+			return err
+		}
+		if v.Kind() != reflect.Struct {
+			return typeMismatch("struct", v)
+		}
+		rt := v.Type()
+		decoded := 0
+		for i := 0; i < rt.NumField() && decoded < int(n); i++ {
+			if !rt.Field(i).IsExported() {
+				continue
+			}
+			if err := d.decode(v.Field(i)); err != nil {
+				return err
+			}
+			decoded++
+		}
+		if decoded != int(n) {
+			return fmt.Errorf("%w: struct field count mismatch (%d encoded, %d decoded)", ErrCorrupt, n, decoded)
+		}
+	case tagPtr:
+		if v.Kind() != reflect.Pointer {
+			return typeMismatch("pointer", v)
+		}
+		p := reflect.New(v.Type().Elem())
+		if err := d.decode(p.Elem()); err != nil {
+			return err
+		}
+		v.Set(p)
+	default:
+		return fmt.Errorf("%w: unknown tag %d", ErrCorrupt, t)
+	}
+	return nil
+}
+
+func typeMismatch(want string, v reflect.Value) error {
+	return fmt.Errorf("%w: encoded %s into %s", ErrCorrupt, want, v.Type())
+}
