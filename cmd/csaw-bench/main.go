@@ -1,12 +1,15 @@
 // Command csaw-bench regenerates the paper's evaluation tables and figures
-// (§10) and prints them as text series and tables.
+// (§10) and prints them as text series and tables, plus repo-grown
+// experiments such as Transport-recovery (substrate fail-over over real TCP
+// with reconnect/backoff stats).
 //
 // Usage:
 //
-//	csaw-bench [-full] [-run Fig23a,Fig25c] [-ticks N] [-tick 10ms] [-summary]
+//	csaw-bench [-full] [-run Fig23a,Transport-recovery] [-ticks N] [-tick 10ms] [-summary]
 //
 // Without flags it runs every experiment with the laptop-fast configuration
 // and prints full series; -summary prints per-series digests instead.
+// -list prints every experiment ID.
 package main
 
 import (

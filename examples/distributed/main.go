@@ -85,18 +85,17 @@ func main() {
 	if err := sysB.StartInstance("g", nil); err != nil {
 		log.Fatal(err)
 	}
-	toB, err := compart.DialTCP(srvB.Addr().String())
-	if err != nil {
-		log.Fatal(err)
-	}
+	// Reconnecting clients: a machine restart no longer severs the bridge
+	// permanently — the client redials with exponential backoff, queues
+	// outbound traffic while down, and heartbeats detect half-open
+	// connections.
+	rcfg := compart.ReconnectConfig{Heartbeat: 250 * time.Millisecond}
+	toB := compart.DialReconnect(srvB.Addr().String(), rcfg)
 	defer toB.Close()
-	toA, err := compart.DialTCP(srvA.Addr().String())
-	if err != nil {
-		log.Fatal(err)
-	}
+	toA := compart.DialReconnect(srvA.Addr().String(), rcfg)
 	defer toA.Close()
-	compart.Bridge(netA, "g::junction", toB)
-	compart.Bridge(netB, "f::junction", toA)
+	compart.BridgeReconnect(netA, "g::junction", toB)
+	compart.BridgeReconnect(netB, "f::junction", toA)
 
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
@@ -107,4 +106,17 @@ func main() {
 		}
 	}
 	fmt.Println("done: every assert/write/retract and its acknowledgment crossed real sockets")
+
+	// The stats layer makes the transport observable: per-client counters,
+	// per-server frame counts, per-link delivery latency, and conserved
+	// network totals (Sent == Delivered + Dropped + Rejected + LostInFlight).
+	cb := toB.Stats()
+	fmt.Printf("bridge A→B: sent=%d connects=%d heartbeats acked=%d send-latency mean=%s\n",
+		cb.Sent, cb.Connects, cb.HeartbeatsAcked, cb.SendLatency.Mean())
+	fmt.Printf("machine B server: frames=%d decode-errors=%d heartbeats=%d\n",
+		srvB.Stats().Frames, srvB.Stats().DecodeErrors, srvB.Stats().Heartbeats)
+	for _, n := range []*compart.Network{netA, netB} {
+		st := n.Stats()
+		fmt.Printf("network: %+v conserved=%v\n", st, st.Conserved())
+	}
 }

@@ -66,5 +66,6 @@ func All() []Experiment {
 		{"Fig26c", Fig26c},
 		{"Table2", Table2},
 		{"Suricata-sharding-overhead", SuricataShardingOverhead},
+		{"Transport-recovery", TransportRecovery},
 	}
 }

@@ -273,12 +273,37 @@ func TestSuricataShardingOverheadRuns(t *testing.T) {
 	}
 }
 
+func TestTransportRecoveryRuns(t *testing.T) {
+	r, err := TransportRecovery(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Series) != 2 {
+		t.Fatalf("want attempted+delivered series, got %d", len(r.Series))
+	}
+	att, del := r.Series[0], r.Series[1]
+	if len(att.Y) != len(del.Y) || len(att.Y) == 0 {
+		t.Fatalf("series lengths: %d vs %d", len(att.Y), len(del.Y))
+	}
+	// During the outage delivery must dip to zero on some tick; overall,
+	// delivered never exceeds attempted plus the queue burst.
+	sawDip := false
+	for i := range del.Y {
+		if del.Y[i] == 0 {
+			sawDip = true
+		}
+	}
+	if !sawDip {
+		t.Fatal("no delivery dip despite server kill")
+	}
+}
+
 func TestAllRegistryComplete(t *testing.T) {
 	ids := map[string]bool{}
 	for _, e := range All() {
 		ids[e.ID] = true
 	}
-	for _, want := range []string{"Fig23a", "Fig23b", "Fig23c", "Fig24a", "Fig24b", "Fig24c", "Fig25ab", "Fig25c", "Fig26a", "Fig26b", "Fig26c", "Table2"} {
+	for _, want := range []string{"Fig23a", "Fig23b", "Fig23c", "Fig24a", "Fig24b", "Fig24c", "Fig25ab", "Fig25c", "Fig26a", "Fig26b", "Fig26c", "Table2", "Transport-recovery"} {
 		if !ids[want] {
 			t.Errorf("experiment %s missing from All()", want)
 		}

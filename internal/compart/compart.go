@@ -79,14 +79,20 @@ type endpoint struct {
 	name    string
 	handler Handler
 	up      bool
+	stats   EndpointStats
 }
 
-// Stats aggregates network-level counters.
+// Stats aggregates network-level counters. At any quiescent point
+// Sent == Delivered + Dropped + Rejected + LostInFlight (see Conserved).
 type Stats struct {
 	Sent      uint64
 	Delivered uint64
 	Dropped   uint64
 	Rejected  uint64
+	// LostInFlight counts messages accepted at send time whose delayed
+	// delivery was then lost to a crash, deregistration or network closure
+	// while in flight.
+	LostInFlight uint64
 }
 
 // Network is a set of endpoints and the links between them. It is safe for
@@ -95,6 +101,7 @@ type Network struct {
 	mu        sync.Mutex
 	endpoints map[string]*endpoint
 	links     map[linkKey]LinkConfig
+	linkStats map[linkKey]*LinkStats
 	def       LinkConfig
 	rng       *rand.Rand
 	closed    bool
@@ -108,6 +115,7 @@ func NewNetwork(seed int64) *Network {
 	return &Network{
 		endpoints: map[string]*endpoint{},
 		links:     map[linkKey]LinkConfig{},
+		linkStats: map[linkKey]*LinkStats{},
 		rng:       rand.New(rand.NewSource(seed)),
 	}
 }
@@ -224,28 +232,41 @@ func (n *Network) Stats() Stats {
 // Send delivers a message from→to subject to the link configuration.
 // Delivery is asynchronous when the link has latency; the error reflects
 // only conditions known at send time (down endpoint, partition, closure).
-// Dropped messages return nil — loss is silent, as on a real network.
+// Dropped messages return nil — loss is silent, as on a real network, but
+// every loss is counted: Dropped for link loss at send time, LostInFlight
+// for delayed deliveries that died in flight.
 func (n *Network) Send(msg Message) error {
+	start := time.Now()
+	key := linkKey{msg.From, msg.To}
 	n.mu.Lock()
 	if n.closed {
 		n.mu.Unlock()
 		return ErrNetworkClosed
 	}
+	ls := n.linkStatsLocked(key)
 	n.stats.Sent++
+	ls.Sent++
 	ep, ok := n.endpoints[msg.To]
 	if !ok || !ep.up {
 		n.stats.Rejected++
+		ls.Rejected++
+		if ok {
+			ep.stats.Rejected++
+		}
 		n.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrEndpointDown, msg.To)
 	}
-	cfg := n.linkLocked(linkKey{msg.From, msg.To})
+	cfg := n.linkLocked(key)
 	if cfg.Partitioned {
 		n.stats.Rejected++
+		ls.Rejected++
+		ep.stats.Rejected++
 		n.mu.Unlock()
 		return fmt.Errorf("%w: %s→%s", ErrPartitioned, msg.From, msg.To)
 	}
 	if cfg.DropProb > 0 && n.rng.Float64() < cfg.DropProb {
 		n.stats.Dropped++
+		ls.Dropped++
 		n.mu.Unlock()
 		return nil
 	}
@@ -253,9 +274,12 @@ func (n *Network) Send(msg Message) error {
 	if cfg.Jitter > 0 {
 		delay += time.Duration(n.rng.Int63n(int64(cfg.Jitter)))
 	}
-	handler := ep.handler
-	n.stats.Delivered++
 	if delay <= 0 {
+		handler := ep.handler
+		n.stats.Delivered++
+		ls.Delivered++
+		ep.stats.Delivered++
+		ls.Latency.observe(time.Since(start))
 		n.mu.Unlock()
 		handler(msg)
 		return nil
@@ -265,15 +289,26 @@ func (n *Network) Send(msg Message) error {
 	time.AfterFunc(delay, func() {
 		defer n.pending.Done()
 		// Re-check endpoint liveness at delivery time: a crash during
-		// flight loses the message.
+		// flight loses the message — counted, not silently forgotten.
 		n.mu.Lock()
 		ep, ok := n.endpoints[msg.To]
-		closed := n.closed
-		n.mu.Unlock()
-		if closed || !ok || !ep.up {
+		ls := n.linkStatsLocked(key)
+		if n.closed || !ok || !ep.up {
+			n.stats.LostInFlight++
+			ls.LostInFlight++
+			if ok {
+				ep.stats.LostInFlight++
+			}
+			n.mu.Unlock()
 			return
 		}
-		ep.handler(msg)
+		handler := ep.handler
+		n.stats.Delivered++
+		ls.Delivered++
+		ep.stats.Delivered++
+		ls.Latency.observe(time.Since(start))
+		n.mu.Unlock()
+		handler(msg)
 	})
 	return nil
 }

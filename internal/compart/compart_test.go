@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"errors"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -11,9 +12,23 @@ import (
 	"time"
 )
 
+// newTestNetwork returns a network that, at test cleanup, is closed and
+// checked for exact counter conservation:
+// Sent == Delivered + Dropped + Rejected + LostInFlight.
+func newTestNetwork(t *testing.T, seed int64) *Network {
+	t.Helper()
+	n := NewNetwork(seed)
+	t.Cleanup(func() {
+		n.Close()
+		if st := n.Stats(); !st.Conserved() {
+			t.Errorf("network counters not conserved: %+v", st)
+		}
+	})
+	return n
+}
+
 func TestSendDelivers(t *testing.T) {
-	n := NewNetwork(1)
-	defer n.Close()
+	n := newTestNetwork(t, 1)
 	got := make(chan Message, 1)
 	n.Register("b", func(m Message) { got <- m })
 	if err := n.Send(Message{From: "a", To: "b", Kind: KindData, Key: "n", Payload: []byte("x")}); err != nil {
@@ -30,8 +45,7 @@ func TestSendDelivers(t *testing.T) {
 }
 
 func TestSendToUnknownEndpoint(t *testing.T) {
-	n := NewNetwork(1)
-	defer n.Close()
+	n := newTestNetwork(t, 1)
 	err := n.Send(Message{From: "a", To: "nobody"})
 	if !errors.Is(err, ErrEndpointDown) {
 		t.Fatalf("err = %v", err)
@@ -39,8 +53,7 @@ func TestSendToUnknownEndpoint(t *testing.T) {
 }
 
 func TestCrashAndRevive(t *testing.T) {
-	n := NewNetwork(1)
-	defer n.Close()
+	n := newTestNetwork(t, 1)
 	var count atomic.Int32
 	n.Register("b", func(Message) { count.Add(1) })
 
@@ -64,8 +77,7 @@ func TestCrashAndRevive(t *testing.T) {
 }
 
 func TestPartitionAndHeal(t *testing.T) {
-	n := NewNetwork(1)
-	defer n.Close()
+	n := newTestNetwork(t, 1)
 	n.Register("a", func(Message) {})
 	n.Register("b", func(Message) {})
 	n.Partition("a", "b")
@@ -87,8 +99,7 @@ func TestPartitionAndHeal(t *testing.T) {
 }
 
 func TestDropProbability(t *testing.T) {
-	n := NewNetwork(7)
-	defer n.Close()
+	n := newTestNetwork(t, 7)
 	var count atomic.Int32
 	n.Register("b", func(Message) { count.Add(1) })
 	n.SetLink("a", "b", LinkConfig{DropProb: 0.5})
@@ -109,8 +120,7 @@ func TestDropProbability(t *testing.T) {
 }
 
 func TestLatencyDelaysDelivery(t *testing.T) {
-	n := NewNetwork(1)
-	defer n.Close()
+	n := newTestNetwork(t, 1)
 	got := make(chan time.Time, 1)
 	n.Register("b", func(Message) { got <- time.Now() })
 	n.SetLink("a", "b", LinkConfig{Latency: 30 * time.Millisecond})
@@ -129,7 +139,7 @@ func TestLatencyDelaysDelivery(t *testing.T) {
 }
 
 func TestCrashDuringFlightLosesMessage(t *testing.T) {
-	n := NewNetwork(1)
+	n := newTestNetwork(t, 1)
 	var count atomic.Int32
 	n.Register("b", func(Message) { count.Add(1) })
 	n.SetLink("a", "b", LinkConfig{Latency: 30 * time.Millisecond})
@@ -144,7 +154,7 @@ func TestCrashDuringFlightLosesMessage(t *testing.T) {
 }
 
 func TestClosedNetworkRejectsSends(t *testing.T) {
-	n := NewNetwork(1)
+	n := newTestNetwork(t, 1)
 	n.Register("b", func(Message) {})
 	n.Close()
 	if err := n.Send(Message{From: "a", To: "b"}); !errors.Is(err, ErrNetworkClosed) {
@@ -153,8 +163,7 @@ func TestClosedNetworkRejectsSends(t *testing.T) {
 }
 
 func TestDefaultLinkApplies(t *testing.T) {
-	n := NewNetwork(3)
-	defer n.Close()
+	n := newTestNetwork(t, 3)
 	var count atomic.Int32
 	n.Register("b", func(Message) { count.Add(1) })
 	n.SetDefaultLink(LinkConfig{DropProb: 1})
@@ -172,8 +181,7 @@ func TestDefaultLinkApplies(t *testing.T) {
 }
 
 func TestConcurrentSendsRace(t *testing.T) {
-	n := NewNetwork(1)
-	defer n.Close()
+	n := newTestNetwork(t, 1)
 	var count atomic.Int64
 	n.Register("b", func(Message) { count.Add(1) })
 	var wg sync.WaitGroup
@@ -197,7 +205,11 @@ func TestMessageCodecRoundTrip(t *testing.T) {
 		From: "f::junction", To: "g::junction", Kind: KindProp,
 		Key: "Work", Flag: true, Payload: []byte{0, 1, 2, 255},
 	}
-	got, err := DecodeMessage(EncodeMessage(m))
+	frame, err := EncodeMessage(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeMessage(frame)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,26 +220,46 @@ func TestMessageCodecRoundTrip(t *testing.T) {
 }
 
 func TestMessageCodecProperty(t *testing.T) {
-	f := func(from, to, key string, kind uint8, flag bool, payload []byte) bool {
-		if len(from) > 60000 || len(to) > 60000 || len(key) > 60000 {
-			return true
+	roundTrips := func(m Message) bool {
+		frame, err := EncodeMessage(m)
+		if err != nil {
+			// Oversized fields must be rejected, never truncated.
+			return len(m.From) > maxFieldLen || len(m.To) > maxFieldLen || len(m.Key) > maxFieldLen
 		}
-		m := Message{From: from, To: to, Key: key, Kind: MessageKind(kind), Flag: flag, Payload: payload}
-		got, err := DecodeMessage(EncodeMessage(m))
+		got, err := DecodeMessage(frame)
 		if err != nil {
 			return false
 		}
 		return got.From == m.From && got.To == m.To && got.Key == m.Key &&
 			got.Kind == m.Kind && got.Flag == m.Flag && string(got.Payload) == string(m.Payload)
 	}
+	f := func(from, to, key string, kind uint8, flag bool, payload []byte) bool {
+		return roundTrips(Message{From: from, To: to, Key: key, Kind: MessageKind(kind), Flag: flag, Payload: payload})
+	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+	// Boundary lengths around the uint16 field-length encoding.
+	long := func(n int) string { return strings.Repeat("x", n) }
+	for _, m := range []Message{
+		{}, // all fields empty
+		{From: long(maxFieldLen), To: long(maxFieldLen), Key: long(maxFieldLen)},
+		{Payload: []byte{}},
+		{Payload: make([]byte, 1<<16)},
+	} {
+		if !roundTrips(m) {
+			t.Fatalf("boundary message failed round trip: From/To/Key lens %d/%d/%d payload %d",
+				len(m.From), len(m.To), len(m.Key), len(m.Payload))
+		}
 	}
 }
 
 func TestDecodeRejectsTruncation(t *testing.T) {
 	m := Message{From: "a", To: "b", Key: "k", Payload: []byte("payload")}
-	frame := EncodeMessage(m)
+	frame, err := EncodeMessage(m)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for cut := 0; cut < len(frame); cut++ {
 		if _, err := DecodeMessage(frame[:cut]); err == nil {
 			t.Fatalf("truncation at %d accepted", cut)
@@ -237,8 +269,7 @@ func TestDecodeRejectsTruncation(t *testing.T) {
 
 func TestTCPTransport(t *testing.T) {
 	// Remote network with a receiving endpoint.
-	remote := NewNetwork(1)
-	defer remote.Close()
+	remote := newTestNetwork(t, 1)
 	got := make(chan Message, 1)
 	remote.Register("g::junction", func(m Message) { got <- m })
 
@@ -250,8 +281,7 @@ func TestTCPTransport(t *testing.T) {
 	defer srv.Close()
 
 	// Local network bridges to the remote endpoint.
-	local := NewNetwork(2)
-	defer local.Close()
+	local := newTestNetwork(t, 2)
 	client, err := DialTCP(srv.Addr().String())
 	if err != nil {
 		t.Fatal(err)
@@ -274,8 +304,7 @@ func TestTCPTransport(t *testing.T) {
 }
 
 func TestTCPManyMessagesInOrder(t *testing.T) {
-	remote := NewNetwork(1)
-	defer remote.Close()
+	remote := newTestNetwork(t, 1)
 	var mu sync.Mutex
 	var keys []string
 	done := make(chan struct{})
@@ -318,8 +347,7 @@ func TestTCPManyMessagesInOrder(t *testing.T) {
 }
 
 func TestStatsCounters(t *testing.T) {
-	n := NewNetwork(1)
-	defer n.Close()
+	n := newTestNetwork(t, 1)
 	n.Register("b", func(Message) {})
 	_ = n.Send(Message{From: "a", To: "b"})
 	_ = n.Send(Message{From: "a", To: "ghost"})
@@ -327,11 +355,47 @@ func TestStatsCounters(t *testing.T) {
 	if st.Sent != 2 || st.Delivered != 1 || st.Rejected != 1 {
 		t.Fatalf("stats = %+v", st)
 	}
+	ls := n.LinkStats("a", "b")
+	if ls.Sent != 1 || ls.Delivered != 1 || ls.Latency.Count != 1 {
+		t.Fatalf("link a→b stats = %+v", ls)
+	}
+	if ls := n.LinkStats("a", "ghost"); ls.Rejected != 1 {
+		t.Fatalf("link a→ghost stats = %+v", ls)
+	}
+	if es := n.EndpointStats("b"); es.Delivered != 1 {
+		t.Fatalf("endpoint b stats = %+v", es)
+	}
+	if all := n.AllLinkStats(); len(all) != 2 {
+		t.Fatalf("AllLinkStats = %+v", all)
+	}
+}
+
+// TestLostInFlightCounted pins the delivery-time accounting fix: a delayed
+// delivery lost to a crash in flight is LostInFlight, not Delivered, and
+// the counters still sum.
+func TestLostInFlightCounted(t *testing.T) {
+	n := newTestNetwork(t, 1)
+	n.Register("b", func(Message) {})
+	n.SetLink("a", "b", LinkConfig{Latency: 20 * time.Millisecond})
+	if err := n.Send(Message{From: "a", To: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	n.Crash("b")
+	n.Close()
+	st := n.Stats()
+	if st.Delivered != 0 || st.LostInFlight != 1 {
+		t.Fatalf("stats = %+v, want Delivered=0 LostInFlight=1", st)
+	}
+	if ls := n.LinkStats("a", "b"); ls.LostInFlight != 1 {
+		t.Fatalf("link stats = %+v", ls)
+	}
+	if es := n.EndpointStats("b"); es.LostInFlight != 1 {
+		t.Fatalf("endpoint stats = %+v", es)
+	}
 }
 
 func TestDeregister(t *testing.T) {
-	n := NewNetwork(1)
-	defer n.Close()
+	n := newTestNetwork(t, 1)
 	n.Register("b", func(Message) {})
 	n.Deregister("b")
 	if n.Up("b") {
@@ -348,8 +412,7 @@ func TestDeregister(t *testing.T) {
 func TestUnixSocketTransport(t *testing.T) {
 	dir := t.TempDir()
 	sock := dir + "/compart.sock"
-	remote := NewNetwork(1)
-	defer remote.Close()
+	remote := newTestNetwork(t, 1)
 	got := make(chan Message, 1)
 	remote.Register("g::junction", func(m Message) { got <- m })
 
@@ -383,17 +446,16 @@ func TestUnixSocketTransport(t *testing.T) {
 // TestNetPipeTransport drives the server loop over an in-memory net.Pipe —
 // the purest "pipe" channel.
 func TestNetPipeTransport(t *testing.T) {
-	remote := NewNetwork(1)
-	defer remote.Close()
+	remote := newTestNetwork(t, 1)
 	got := make(chan Message, 1)
 	remote.Register("sink", func(m Message) { got <- m })
 
 	client, server := net.Pipe()
-	srv := &Server{net: remote, conns: map[net.Conn]bool{}}
+	srv := &Server{net: remote, connSet: map[net.Conn]bool{}}
 	srv.wg.Add(1)
 	go func() {
 		srv.mu.Lock()
-		srv.conns[server] = true
+		srv.connSet[server] = true
 		srv.mu.Unlock()
 		srv.serveConn(server)
 	}()

@@ -1,0 +1,409 @@
+package compart
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The reconnecting client makes the cross-machine substrate survive the
+// failures the paper's evaluation injects (§7.3 fail-over, Fig 23a): a
+// remote server crash or partition no longer kills the sender permanently.
+// Instead the client transparently redials with exponential backoff plus
+// jitter, buffers outbound messages in a bounded queue while disconnected
+// (overflow is counted as dropped, never lost silently), and optionally
+// exchanges application-level heartbeats so connection health — not just
+// TCP connect state — feeds remote-liveness reporting (BridgeLive).
+
+// Errors reported by the reconnecting client.
+var (
+	// ErrQueueFull is returned by Send when the bounded outbound queue is
+	// full (typically because the remote has been unreachable for a while).
+	ErrQueueFull = errors.New("compart: outbound queue full")
+	// ErrClientClosed is returned by Send after Close.
+	ErrClientClosed = errors.New("compart: client closed")
+)
+
+// ReconnectConfig tunes DialReconnect. The zero value gives usable
+// defaults; Heartbeat is opt-in.
+type ReconnectConfig struct {
+	// QueueSize bounds the outbound queue (default 1024). Messages sent
+	// while disconnected wait here; overflow fails with ErrQueueFull and
+	// counts as Dropped.
+	QueueSize int
+	// BackoffMin is the first redial delay (default 50ms).
+	BackoffMin time.Duration
+	// BackoffMax caps the redial delay (default 2s).
+	BackoffMax time.Duration
+	// BackoffFactor multiplies the delay after each failed dial (default 2).
+	BackoffFactor float64
+	// BackoffJitter adds a uniformly random fraction of the delay in
+	// [0, BackoffJitter) to desynchronize reconnect storms (default 0.2).
+	BackoffJitter float64
+	// Heartbeat enables transport-level pings at this interval; 0 disables.
+	// Missing HeartbeatMiss consecutive pongs tears the connection down so
+	// half-open connections are detected and redialed.
+	Heartbeat time.Duration
+	// HeartbeatMiss is the number of heartbeat intervals without a pong
+	// before the connection is declared dead (default 3).
+	HeartbeatMiss int
+	// Dial overrides the connection factory (default: net.Dial("tcp", addr)).
+	// Lets tests and non-TCP deployments (unix sockets) reuse the machinery.
+	Dial func() (net.Conn, error)
+}
+
+func (c *ReconnectConfig) fill(addr string) {
+	if c.QueueSize <= 0 {
+		c.QueueSize = 1024
+	}
+	if c.BackoffMin <= 0 {
+		c.BackoffMin = 50 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 2 * time.Second
+	}
+	if c.BackoffFactor < 1 {
+		c.BackoffFactor = 2
+	}
+	if c.BackoffJitter <= 0 {
+		c.BackoffJitter = 0.2
+	}
+	if c.HeartbeatMiss <= 0 {
+		c.HeartbeatMiss = 3
+	}
+	if c.Dial == nil {
+		c.Dial = func() (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+}
+
+// ClientStats is a snapshot of a reconnecting client's counters. At any
+// quiescent point Enqueued == Sent + Dropped - (rejected before enqueue);
+// more precisely: every message accepted into the queue is eventually
+// counted Sent (written to a socket) or Dropped (write error, or still
+// queued at Close).
+type ClientStats struct {
+	// Enqueued counts messages accepted into the outbound queue.
+	Enqueued uint64
+	// Sent counts frames written to a socket (handed to the OS; TCP may
+	// still lose them on a crash, which heartbeats surface as a reconnect).
+	Sent uint64
+	// Dropped counts messages rejected on a full queue, lost to a write
+	// error, or abandoned in the queue at Close.
+	Dropped uint64
+	// Dials counts dial attempts; Connects counts the successful ones, so
+	// Connects-1 is the number of reconnections and Dials-Connects the
+	// failed attempts backed off from.
+	Dials    uint64
+	Connects uint64
+	// HeartbeatsSent / HeartbeatsAcked count pings written and pongs seen.
+	HeartbeatsSent  uint64
+	HeartbeatsAcked uint64
+	// QueueLen is the current outbound queue depth.
+	QueueLen int
+	// Connected reports current connection state.
+	Connected bool
+	// SendLatency summarizes enqueue-to-socket-write latency, which spikes
+	// during disconnections and so exposes queueing delay to experiments.
+	SendLatency LatencySummary
+}
+
+type outFrame struct {
+	body []byte
+	at   time.Time
+}
+
+// ReconnectClient is a self-healing sender to a remote compart server. It
+// is safe for concurrent use; Send never blocks on the network.
+type ReconnectClient struct {
+	cfg   ReconnectConfig
+	queue chan outFrame
+	done  chan struct{}
+	wg    sync.WaitGroup
+	once  sync.Once
+
+	enqueued, sent, dropped atomic.Uint64
+	dials, connects         atomic.Uint64
+	hbSent, hbAcked         atomic.Uint64
+	connected               atomic.Bool
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	sendLat   LatencySummary
+	listeners []func(up bool)
+}
+
+// DialReconnect returns a client that maintains a connection to addr in the
+// background: it connects, reconnects with exponential backoff and jitter
+// after any failure, and drains the outbound queue whenever connected. It
+// never fails at construction — the first dial happens asynchronously.
+func DialReconnect(addr string, cfg ReconnectConfig) *ReconnectClient {
+	cfg.fill(addr)
+	c := &ReconnectClient{
+		cfg:   cfg,
+		queue: make(chan outFrame, cfg.QueueSize),
+		done:  make(chan struct{}),
+		rng:   rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+	c.wg.Add(1)
+	go c.run()
+	return c
+}
+
+// Send frames the message and enqueues it for transmission. It fails fast
+// with ErrFieldTooLong/ErrFrameTooLarge on unframeable messages,
+// ErrQueueFull when the bounded queue is saturated, and ErrClientClosed
+// after Close. A nil error means the message was accepted, not that the
+// remote received it — delivery confirmation stays an application concern
+// (the runtime's acks).
+func (c *ReconnectClient) Send(msg Message) error {
+	body, err := EncodeMessage(msg)
+	if err != nil {
+		return err
+	}
+	select {
+	case <-c.done:
+		return ErrClientClosed
+	default:
+	}
+	select {
+	case c.queue <- outFrame{body: body, at: time.Now()}:
+		c.enqueued.Add(1)
+		return nil
+	default:
+		c.dropped.Add(1)
+		return ErrQueueFull
+	}
+}
+
+// Connected reports whether the client currently holds a live connection.
+func (c *ReconnectClient) Connected() bool { return c.connected.Load() }
+
+// Stats returns a snapshot of the client's counters.
+func (c *ReconnectClient) Stats() ClientStats {
+	c.mu.Lock()
+	lat := c.sendLat
+	c.mu.Unlock()
+	return ClientStats{
+		Enqueued:        c.enqueued.Load(),
+		Sent:            c.sent.Load(),
+		Dropped:         c.dropped.Load(),
+		Dials:           c.dials.Load(),
+		Connects:        c.connects.Load(),
+		HeartbeatsSent:  c.hbSent.Load(),
+		HeartbeatsAcked: c.hbAcked.Load(),
+		QueueLen:        len(c.queue),
+		Connected:       c.connected.Load(),
+		SendLatency:     lat,
+	}
+}
+
+// Notify registers a connection-state listener and immediately invokes it
+// with the current state. Listeners run on the client's connection
+// goroutine and must not block.
+func (c *ReconnectClient) Notify(f func(up bool)) {
+	c.mu.Lock()
+	c.listeners = append(c.listeners, f)
+	c.mu.Unlock()
+	f(c.connected.Load())
+}
+
+// Close stops the client. Messages still queued are counted as Dropped.
+func (c *ReconnectClient) Close() error {
+	c.once.Do(func() { close(c.done) })
+	c.wg.Wait()
+	for {
+		select {
+		case <-c.queue:
+			c.dropped.Add(1)
+		default:
+			return nil
+		}
+	}
+}
+
+func (c *ReconnectClient) setConnected(up bool) {
+	c.connected.Store(up)
+	var ls []func(bool)
+	c.mu.Lock()
+	ls = append(ls, c.listeners...)
+	c.mu.Unlock()
+	for _, f := range ls {
+		f(up)
+	}
+}
+
+// backoffDelay computes the next redial delay with jitter.
+func (c *ReconnectClient) backoffDelay(cur time.Duration) time.Duration {
+	c.mu.Lock()
+	j := c.rng.Float64()
+	c.mu.Unlock()
+	return cur + time.Duration(float64(cur)*c.cfg.BackoffJitter*j)
+}
+
+func (c *ReconnectClient) run() {
+	defer c.wg.Done()
+	backoff := c.cfg.BackoffMin
+	for {
+		select {
+		case <-c.done:
+			return
+		default:
+		}
+		c.dials.Add(1)
+		conn, err := c.cfg.Dial()
+		if err != nil {
+			select {
+			case <-c.done:
+				return
+			case <-time.After(c.backoffDelay(backoff)):
+			}
+			backoff = time.Duration(float64(backoff) * c.cfg.BackoffFactor)
+			if backoff > c.cfg.BackoffMax {
+				backoff = c.cfg.BackoffMax
+			}
+			continue
+		}
+		backoff = c.cfg.BackoffMin
+		c.connects.Add(1)
+		c.setConnected(true)
+		c.pump(conn)
+		c.setConnected(false)
+		_ = conn.Close()
+	}
+}
+
+// pump drains the queue over one connection until it dies, Close is called,
+// or heartbeats go unanswered.
+func (c *ReconnectClient) pump(conn net.Conn) {
+	w := bufio.NewWriter(conn)
+	var lastPong atomic.Int64
+	lastPong.Store(time.Now().UnixNano())
+	readDead := make(chan struct{})
+	var rwg sync.WaitGroup
+	rwg.Add(1)
+	go func() {
+		// The read side only carries heartbeat pongs; any read error means
+		// the connection is gone (detects remote close even without
+		// heartbeats enabled).
+		defer rwg.Done()
+		defer close(readDead)
+		r := bufio.NewReader(conn)
+		for {
+			body, err := readFrame(r)
+			if err != nil {
+				return
+			}
+			if m, err := DecodeMessage(body); err == nil &&
+				m.Kind == KindControl && m.Key == heartbeatKey {
+				c.hbAcked.Add(1)
+				lastPong.Store(time.Now().UnixNano())
+			}
+		}
+	}()
+	defer func() {
+		_ = conn.Close()
+		rwg.Wait()
+	}()
+
+	var hb <-chan time.Time
+	if c.cfg.Heartbeat > 0 {
+		t := time.NewTicker(c.cfg.Heartbeat)
+		defer t.Stop()
+		hb = t.C
+	}
+	var hbSeq uint64
+
+	write := func(f outFrame) bool {
+		if err := writeFrame(w, f.body); err != nil {
+			c.dropped.Add(1)
+			return false
+		}
+		c.sent.Add(1)
+		c.mu.Lock()
+		c.sendLat.observe(time.Since(f.at))
+		c.mu.Unlock()
+		return true
+	}
+
+	for {
+		select {
+		case <-c.done:
+			_ = w.Flush()
+			return
+		case <-readDead:
+			return
+		case f := <-c.queue:
+			if !write(f) {
+				return
+			}
+			// Opportunistically batch whatever else is queued into one
+			// flush — the bulk path after a reconnection.
+		batch:
+			for {
+				select {
+				case f := <-c.queue:
+					if !write(f) {
+						return
+					}
+				default:
+					break batch
+				}
+			}
+			if err := w.Flush(); err != nil {
+				return
+			}
+		case <-hb:
+			miss := time.Duration(c.cfg.HeartbeatMiss) * c.cfg.Heartbeat
+			if time.Since(time.Unix(0, lastPong.Load())) > miss {
+				// Half-open connection: no pong for HeartbeatMiss
+				// intervals. Tear down and redial.
+				return
+			}
+			hbSeq++
+			var seq [8]byte
+			binary.BigEndian.PutUint64(seq[:], hbSeq)
+			ping, err := EncodeMessage(Message{Kind: KindControl, Key: heartbeatKey, Payload: seq[:]})
+			if err != nil {
+				return
+			}
+			if writeFrame(w, ping) != nil || w.Flush() != nil {
+				return
+			}
+			c.hbSent.Add(1)
+		}
+	}
+}
+
+// BridgeReconnect registers an always-up local proxy endpoint that forwards
+// to a remote network through a reconnecting client: messages sent while
+// the remote is unreachable wait in the client's bounded queue and flow
+// after reconnection. Use BridgeLive instead when local senders should
+// observe remote liveness.
+func BridgeReconnect(local *Network, remoteEndpoint string, c *ReconnectClient) {
+	local.Register(remoteEndpoint, func(m Message) {
+		_ = c.Send(m)
+	})
+}
+
+// BridgeLive registers a local proxy endpoint whose liveness tracks the
+// transport: while the client is disconnected (or heartbeats go
+// unanswered), the proxy endpoint is crashed, so Network.Up reports the
+// remote as down and local sends fail fast with ErrEndpointDown instead of
+// queueing — the failure-awareness the runtime's otherwise[t] builds on.
+func BridgeLive(local *Network, remoteEndpoint string, c *ReconnectClient) {
+	local.Register(remoteEndpoint, func(m Message) {
+		_ = c.Send(m)
+	})
+	c.Notify(func(up bool) {
+		if up {
+			local.Revive(remoteEndpoint)
+		} else {
+			local.Crash(remoteEndpoint)
+		}
+	})
+}

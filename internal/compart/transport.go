@@ -3,10 +3,12 @@ package compart
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 )
 
 // The TCP transport carries Messages across real sockets, bridging two
@@ -16,15 +18,50 @@ import (
 // over OS IPC (paper §3).
 
 // maxFrame bounds a single message frame (16 MiB) to protect receivers from
-// corrupt or hostile length prefixes.
+// corrupt or hostile length prefixes. The limit is enforced symmetrically:
+// senders refuse to emit oversized frames (ErrFrameTooLarge) rather than
+// shipping bytes the receiver is guaranteed to reject.
 const maxFrame = 16 << 20
 
+// maxFieldLen bounds the From/To/Key string fields, whose lengths are
+// encoded as uint16 on the wire.
+const maxFieldLen = 1<<16 - 1
+
+// heartbeatKey marks transport-level heartbeat frames. The NUL prefix keeps
+// it out of the application key namespace; heartbeats are answered by the
+// server on the same connection and never injected into the Network.
+const heartbeatKey = "\x00compart:hb"
+
+// Errors reported by the frame codec and transport senders.
+var (
+	// ErrFieldTooLong is returned when a From/To/Key field exceeds the
+	// uint16 length encoding — previously such fields were silently
+	// truncated, producing undecodable frames.
+	ErrFieldTooLong = errors.New("compart: string field exceeds 64 KiB frame limit")
+	// ErrFrameTooLarge is returned when an encoded frame would exceed
+	// maxFrame; receivers kill connections carrying such frames, so senders
+	// must refuse them up front.
+	ErrFrameTooLarge = errors.New("compart: frame exceeds 16 MiB limit")
+)
+
 // EncodeMessage serializes a message into a self-delimiting byte frame
-// (excluding the outer length prefix).
-func EncodeMessage(m Message) []byte {
+// (excluding the outer length prefix). It fails with ErrFieldTooLong when a
+// string field cannot be length-prefixed losslessly, and with
+// ErrFrameTooLarge when the total frame would exceed maxFrame.
+func EncodeMessage(m Message) ([]byte, error) {
+	for _, f := range [...]struct{ name, val string }{
+		{"From", m.From}, {"To", m.To}, {"Key", m.Key},
+	} {
+		if len(f.val) > maxFieldLen {
+			return nil, fmt.Errorf("%w: %s is %d bytes", ErrFieldTooLong, f.name, len(f.val))
+		}
+	}
 	size := 1 + 1 + // kind, flag
 		varStrLen(m.From) + varStrLen(m.To) + varStrLen(m.Key) +
 		4 + len(m.Payload)
+	if size > maxFrame {
+		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, size)
+	}
 	buf := make([]byte, 0, size)
 	buf = append(buf, byte(m.Kind))
 	if m.Flag {
@@ -37,7 +74,7 @@ func EncodeMessage(m Message) []byte {
 	buf = appendStr(buf, m.Key)
 	buf = binary.BigEndian.AppendUint32(buf, uint32(len(m.Payload)))
 	buf = append(buf, m.Payload...)
-	return buf
+	return buf, nil
 }
 
 // DecodeMessage parses a frame produced by EncodeMessage.
@@ -75,6 +112,8 @@ func DecodeMessage(buf []byte) (Message, error) {
 
 func varStrLen(s string) int { return 2 + len(s) }
 
+// appendStr length-prefixes s; callers must have validated
+// len(s) <= maxFieldLen (EncodeMessage does).
 func appendStr(buf []byte, s string) []byte {
 	buf = binary.BigEndian.AppendUint16(buf, uint16(len(s)))
 	return append(buf, s...)
@@ -93,6 +132,9 @@ func takeStr(buf []byte) (string, []byte, error) {
 }
 
 func writeFrame(w io.Writer, body []byte) error {
+	if len(body) > maxFrame {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(body))
+	}
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
 	if _, err := w.Write(hdr[:]); err != nil {
@@ -118,6 +160,20 @@ func readFrame(r io.Reader) ([]byte, error) {
 	return body, nil
 }
 
+// ServerStats aggregates per-server transport counters.
+type ServerStats struct {
+	// Conns counts connections accepted over the server's lifetime.
+	Conns uint64
+	// Frames counts frames decoded and injected into the network.
+	Frames uint64
+	// DecodeErrors counts well-framed bodies that failed DecodeMessage.
+	// Such frames are dropped and counted; the connection keeps draining
+	// (the outer length prefix keeps the stream in sync).
+	DecodeErrors uint64
+	// Heartbeats counts heartbeat pings answered.
+	Heartbeats uint64
+}
+
 // Server exposes a Network's endpoints over TCP. Every decoded frame is
 // injected with Network.Send, so link configuration and fault injection
 // apply to remote traffic too.
@@ -126,15 +182,20 @@ type Server struct {
 	l   net.Listener
 	wg  sync.WaitGroup
 
-	mu     sync.Mutex
-	closed bool
-	conns  map[net.Conn]bool
+	conns        atomic.Uint64
+	frames       atomic.Uint64
+	decodeErrors atomic.Uint64
+	heartbeats   atomic.Uint64
+
+	mu      sync.Mutex
+	closed  bool
+	connSet map[net.Conn]bool
 }
 
 // ServeTCP starts accepting connections on l, delivering received messages
 // into n. The returned Server owns the listener.
 func ServeTCP(n *Network, l net.Listener) *Server {
-	s := &Server{net: n, l: l, conns: map[net.Conn]bool{}}
+	s := &Server{net: n, l: l, connSet: map[net.Conn]bool{}}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s
@@ -142,6 +203,16 @@ func ServeTCP(n *Network, l net.Listener) *Server {
 
 // Addr returns the listener address.
 func (s *Server) Addr() net.Addr { return s.l.Addr() }
+
+// Stats returns a snapshot of the server's transport counters.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		Conns:        s.conns.Load(),
+		Frames:       s.frames.Load(),
+		DecodeErrors: s.decodeErrors.Load(),
+		Heartbeats:   s.heartbeats.Load(),
+	}
+}
 
 func (s *Server) acceptLoop() {
 	defer s.wg.Done()
@@ -156,8 +227,9 @@ func (s *Server) acceptLoop() {
 			_ = conn.Close()
 			return
 		}
-		s.conns[conn] = true
+		s.connSet[conn] = true
 		s.mu.Unlock()
+		s.conns.Add(1)
 		s.wg.Add(1)
 		go s.serveConn(conn)
 	}
@@ -167,20 +239,35 @@ func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer func() {
 		s.mu.Lock()
-		delete(s.conns, conn)
+		delete(s.connSet, conn)
 		s.mu.Unlock()
 		_ = conn.Close()
 	}()
 	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
 	for {
 		body, err := readFrame(r)
 		if err != nil {
+			// Framing/IO error: the stream is unrecoverable.
 			return
 		}
 		msg, err := DecodeMessage(body)
 		if err != nil {
-			return
+			// The frame body is garbage but the outer length prefix kept
+			// the stream in sync: count it and keep draining.
+			s.decodeErrors.Add(1)
+			continue
 		}
+		if msg.Kind == KindControl && msg.Key == heartbeatKey {
+			// Answer transport heartbeats in place (pong echoes the ping's
+			// payload). serveConn is this connection's only writer.
+			s.heartbeats.Add(1)
+			if writeFrame(w, body) != nil || w.Flush() != nil {
+				return
+			}
+			continue
+		}
+		s.frames.Add(1)
 		// Send errors (down endpoint etc.) are invisible to the remote
 		// sender, exactly like datagram loss.
 		_ = s.net.Send(msg)
@@ -191,8 +278,8 @@ func (s *Server) serveConn(conn net.Conn) {
 func (s *Server) Close() {
 	s.mu.Lock()
 	s.closed = true
-	conns := make([]net.Conn, 0, len(s.conns))
-	for c := range s.conns {
+	conns := make([]net.Conn, 0, len(s.connSet))
+	for c := range s.connSet {
 		conns = append(conns, c)
 	}
 	s.mu.Unlock()
@@ -203,8 +290,9 @@ func (s *Server) Close() {
 	s.wg.Wait()
 }
 
-// Client is a connection to a remote Network's TCP server. It implements a
-// sender-side channel: messages are framed and written to the socket.
+// Client is a single-connection sender to a remote Network's TCP server:
+// messages are framed and written to the socket; a connection error is
+// fatal. For a self-healing connection use DialReconnect (reconnect.go).
 type Client struct {
 	mu   sync.Mutex
 	conn net.Conn
@@ -220,11 +308,17 @@ func DialTCP(addr string) (*Client, error) {
 	return &Client{conn: conn, w: bufio.NewWriter(conn)}, nil
 }
 
-// Send frames and transmits a message to the remote network.
+// Send frames and transmits a message to the remote network. Messages that
+// cannot be framed losslessly fail with ErrFieldTooLong or ErrFrameTooLarge
+// before any bytes hit the socket.
 func (c *Client) Send(msg Message) error {
+	body, err := EncodeMessage(msg)
+	if err != nil {
+		return err
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if err := writeFrame(c.w, EncodeMessage(msg)); err != nil {
+	if err := writeFrame(c.w, body); err != nil {
 		return err
 	}
 	return c.w.Flush()

@@ -1,0 +1,165 @@
+package compart
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestEncodeRejectsOversizedFields pins the appendStr truncation fix:
+// fields whose length does not fit the uint16 wire encoding must be
+// rejected, not silently truncated into undecodable frames.
+func TestEncodeRejectsOversizedFields(t *testing.T) {
+	big := strings.Repeat("x", maxFieldLen+1)
+	for _, m := range []Message{
+		{From: big},
+		{To: big},
+		{Key: big},
+	} {
+		if _, err := EncodeMessage(m); !errors.Is(err, ErrFieldTooLong) {
+			t.Fatalf("oversized field accepted: %v", err)
+		}
+	}
+	// Exactly at the limit is fine.
+	edge := strings.Repeat("x", maxFieldLen)
+	frame, err := EncodeMessage(Message{From: edge, To: edge, Key: edge})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeMessage(frame)
+	if err != nil || got.From != edge || got.To != edge || got.Key != edge {
+		t.Fatalf("boundary-length round trip failed: %v", err)
+	}
+}
+
+// TestSendRejectsOversizedFrame pins the send-side maxFrame enforcement: a
+// frame the receiver is guaranteed to reject must fail with
+// ErrFrameTooLarge before any bytes hit the socket (previously the
+// receiver killed the whole connection).
+func TestSendRejectsOversizedFrame(t *testing.T) {
+	if _, err := EncodeMessage(Message{Payload: make([]byte, maxFrame)}); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized frame accepted by codec: %v", err)
+	}
+
+	remote := newTestNetwork(t, 1)
+	got := make(chan Message, 1)
+	remote.Register("sink", func(m Message) { got <- m })
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := ServeTCP(remote, l)
+	defer srv.Close()
+	client, err := DialTCP(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	if err := client.Send(Message{To: "sink", Payload: make([]byte, maxFrame)}); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("client accepted oversized frame: %v", err)
+	}
+	// The connection survived the rejected send.
+	if err := client.Send(Message{To: "sink", Key: "after"}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-got:
+		if m.Key != "after" {
+			t.Fatalf("received %+v", m)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("connection did not survive rejected oversized send")
+	}
+}
+
+// TestServerCountsDecodeErrorsAndKeepsDraining pins the serveConn fix: a
+// well-framed but undecodable body is counted and skipped; later frames on
+// the same connection still arrive (the outer length prefix keeps the
+// stream in sync).
+func TestServerCountsDecodeErrorsAndKeepsDraining(t *testing.T) {
+	remote := newTestNetwork(t, 1)
+	got := make(chan Message, 1)
+	remote.Register("sink", func(m Message) { got <- m })
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := ServeTCP(remote, l)
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// A 1-byte body is a valid frame but an undecodable message.
+	if err := writeFrame(conn, []byte{0xff}); err != nil {
+		t.Fatal(err)
+	}
+	good, err := EncodeMessage(Message{To: "sink", Key: "ok"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFrame(conn, good); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-got:
+		if m.Key != "ok" {
+			t.Fatalf("received %+v", m)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("frame after decode error not drained")
+	}
+	st := srv.Stats()
+	if st.DecodeErrors != 1 {
+		t.Fatalf("DecodeErrors = %d, want 1 (stats %+v)", st.DecodeErrors, st)
+	}
+	if st.Frames != 1 || st.Conns != 1 {
+		t.Fatalf("server stats = %+v", st)
+	}
+}
+
+// TestServerAnswersHeartbeats checks the transport-level ping/pong that
+// reconnecting clients use for liveness: the server echoes heartbeat frames
+// on the same connection and never injects them into the network.
+func TestServerAnswersHeartbeats(t *testing.T) {
+	remote := newTestNetwork(t, 1)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := ServeTCP(remote, l)
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	ping, err := EncodeMessage(Message{Kind: KindControl, Key: heartbeatKey, Payload: []byte{1, 2, 3, 4, 5, 6, 7, 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFrame(conn, ping); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	body, err := readFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pong, err := DecodeMessage(body)
+	if err != nil || pong.Kind != KindControl || pong.Key != heartbeatKey {
+		t.Fatalf("pong = %+v, %v", pong, err)
+	}
+	if st := srv.Stats(); st.Heartbeats != 1 || st.Frames != 0 {
+		t.Fatalf("server stats = %+v", st)
+	}
+	if st := remote.Stats(); st.Sent != 0 {
+		t.Fatalf("heartbeat leaked into the network: %+v", st)
+	}
+}

@@ -1,6 +1,9 @@
 package runtime
 
-import "errors"
+import (
+	"errors"
+	"fmt"
+)
 
 // Sentinel errors reported by the runtime.
 var (
@@ -32,3 +35,10 @@ var (
 	// ErrSendFailed wraps communication failures of assert/retract/write.
 	ErrSendFailed = errors.New("runtime: remote update failed")
 )
+
+// ErrPeerDown is the ErrSendFailed case where the substrate already knows
+// the destination is down (crashed endpoint, or a liveness-tracking bridge
+// whose transport heartbeats went unanswered — see compart.BridgeLive).
+// Updates fail fast with it instead of burning the full ack timeout.
+// errors.Is(err, ErrSendFailed) still holds.
+var ErrPeerDown = fmt.Errorf("%w: peer endpoint down", ErrSendFailed)

@@ -14,6 +14,7 @@ package runtime
 import (
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -108,6 +109,22 @@ func New(p *dsl.Program, opts Options) (*System, error) {
 // Net exposes the substrate network (for fault injection in tests and
 // benchmarks).
 func (s *System) Net() *compart.Network { return s.net }
+
+// TransportStats returns the substrate's network-wide counters (conserved:
+// Sent == Delivered + Dropped + Rejected + LostInFlight at quiescence), so
+// fault-injection experiments can assert on observed transport behaviour.
+func (s *System) TransportStats() compart.Stats { return s.net.Stats() }
+
+// LinkStats returns the substrate counters for the directed link between
+// two junction endpoints ("instance::junction" names).
+func (s *System) LinkStats(from, to string) compart.LinkStats { return s.net.LinkStats(from, to) }
+
+// PeerUp reports whether a junction endpoint — local or bridged from a
+// remote machine — is currently up at the transport level. For endpoints
+// bridged with compart.BridgeLive this reflects remote heartbeat liveness.
+func (s *System) PeerUp(instance, junction string) bool {
+	return s.net.Up(instance + "::" + junction)
+}
 
 // Program returns the program the system executes.
 func (s *System) Program() *dsl.Program { return s.prog }
@@ -380,6 +397,12 @@ func (s *System) sendUpdate(ctx context.Context, from, to string, kind compart.M
 	binary.BigEndian.PutUint64(body, seq)
 	copy(body[8:], payload)
 	if err := s.net.Send(compart.Message{From: from, To: to, Kind: kind, Key: key, Flag: flag, Payload: body}); err != nil {
+		if errors.Is(err, compart.ErrEndpointDown) {
+			// Transport-level liveness (crash, or a BridgeLive whose
+			// heartbeats went unanswered) already knows the peer is gone:
+			// fail fast instead of waiting out the ack timeout.
+			return fmt.Errorf("%w (%s)", ErrPeerDown, to)
+		}
 		return fmt.Errorf("%w: %v", ErrSendFailed, err)
 	}
 	timer := time.NewTimer(s.opts.AckTimeout)
