@@ -29,6 +29,7 @@ type CachedRedis struct {
 	cache   map[string]wireOp
 	hits    uint64
 	misses  uint64
+	reqBuf  []byte // request scratch, reusable only after a successful round
 
 	// CachingEnabled toggles the CheckCacheable classification, giving the
 	// "No Caching" baseline of Fig. 23c with the identical architecture.
@@ -65,7 +66,15 @@ func NewCachedRedis(enabled bool, timeout time.Duration) (*CachedRedis, error) {
 		CaptureRequest: func(dsl.HostCtx) ([]byte, error) {
 			cr.mu.Lock()
 			defer cr.mu.Unlock()
-			return serial.Marshal(wireOp{Get: cr.pending.Get, Key: cr.pending.Key, Value: cr.pending.Value})
+			// Safe to reuse across rounds for the same reason as the sharding
+			// adapter: requests are serialized through Do, and failed rounds
+			// abandon the scratch (see appendWireOp).
+			b, err := appendWireOp(cr.reqBuf[:0], wireOp{Get: cr.pending.Get, Key: cr.pending.Key, Value: cr.pending.Value})
+			if err != nil {
+				return nil, err
+			}
+			cr.reqBuf = b
+			return b, nil
 		},
 		DeliverResponse: func(_ dsl.HostCtx, b []byte) error {
 			var op wireOp
@@ -106,6 +115,12 @@ func NewCachedRedis(enabled bool, timeout time.Duration) (*CachedRedis, error) {
 			}
 			return serial.Marshal(wireOp{Key: op.Key, Found: true})
 		},
+		Complain: func(dsl.HostCtx) error {
+			cr.mu.Lock()
+			cr.reqBuf = nil
+			cr.mu.Unlock()
+			return nil
+		},
 	})
 	sys, err := runtime.New(prog, runtime.Options{})
 	if err != nil {
@@ -125,6 +140,9 @@ func (cr *CachedRedis) Do(ctx context.Context, op workload.Op) (wireOp, error) {
 	cr.pending = op
 	cr.mu.Unlock()
 	if err := cr.sys.Invoke(ctx, patterns.CacheInstance, patterns.CacheJunction); err != nil {
+		cr.mu.Lock()
+		cr.reqBuf = nil // round died mid-flight: buffer may still be aliased
+		cr.mu.Unlock()
 		return wireOp{}, err
 	}
 	cr.mu.Lock()

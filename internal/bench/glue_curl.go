@@ -26,6 +26,7 @@ type AuditedCurl struct {
 	mu      sync.Mutex
 	current minicurl.Progress
 	records []minicurl.Progress
+	reqBuf  []byte // snapshot scratch, reusable only after a successful round
 }
 
 // NewAuditedCurl builds the auditing architecture with the given audit-path
@@ -37,7 +38,15 @@ func NewAuditedCurl(auditLink minicurl.Link, timeout time.Duration) (*AuditedCur
 		Capture: func(dsl.HostCtx) ([]byte, error) {
 			ac.mu.Lock()
 			defer ac.mu.Unlock()
-			return serial.Marshal(ac.current)
+			// The auditor retracts Work only after Apply consumed the bytes,
+			// so a completed round leaves the scratch dead and reusable;
+			// failed rounds abandon it (see appendWireOp in glue_wire.go).
+			b, err := serial.AppendMarshal(ac.reqBuf[:0], ac.current)
+			if err != nil {
+				return nil, err
+			}
+			ac.reqBuf = b
+			return b, nil
 		},
 		Apply: func(_ dsl.HostCtx, b []byte) error {
 			var p minicurl.Progress
@@ -46,6 +55,12 @@ func NewAuditedCurl(auditLink minicurl.Link, timeout time.Duration) (*AuditedCur
 			}
 			ac.mu.Lock()
 			ac.records = append(ac.records, p)
+			ac.mu.Unlock()
+			return nil
+		},
+		Complain: func(dsl.HostCtx) error {
+			ac.mu.Lock()
+			ac.reqBuf = nil // the auditor may still hold the snapshot bytes
 			ac.mu.Unlock()
 			return nil
 		},
@@ -71,6 +86,9 @@ func (ac *AuditedCurl) Download(ctx context.Context, srv *minicurl.Server, name 
 		ac.current = p
 		ac.mu.Unlock()
 		if err := ac.sys.Invoke(ctx, patterns.ActInstance, patterns.SnapshotJunction); err != nil {
+			ac.mu.Lock()
+			ac.reqBuf = nil // round died mid-flight: buffer may still be aliased
+			ac.mu.Unlock()
 			return 0, err
 		}
 		// Charge the modelled audit-path cost: one round trip plus the

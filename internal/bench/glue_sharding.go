@@ -40,6 +40,7 @@ type ShardedRedis struct {
 	pending workload.Op
 	resp    wireOp
 	sizes   map[string]int // front-side key→size table (§5.2)
+	reqBuf  []byte         // request scratch, reusable only after a successful round
 }
 
 // NewShardedRedis builds the system with the paper's §5.2 size classes.
@@ -89,7 +90,16 @@ func NewShardedRedisClasses(n int, mode ShardMode, classes []workload.SizeClass,
 		CaptureRequest: func(dsl.HostCtx) ([]byte, error) {
 			sr.mu.Lock()
 			defer sr.mu.Unlock()
-			return serial.Marshal(wireOp{Get: sr.pending.Get, Key: sr.pending.Key, Value: sr.pending.Value})
+			// Requests are serialized through Do, and a completed round means
+			// the chosen back finished reading the previous request before
+			// its response came back — so the scratch is dead and reusable
+			// (see appendWireOp). Failed rounds drop it below.
+			b, err := appendWireOp(sr.reqBuf[:0], wireOp{Get: sr.pending.Get, Key: sr.pending.Key, Value: sr.pending.Value})
+			if err != nil {
+				return nil, err
+			}
+			sr.reqBuf = b
+			return b, nil
 		},
 		HandleRequest: func(ctx dsl.HostCtx, req []byte) ([]byte, error) {
 			var op wireOp
@@ -119,6 +129,14 @@ func NewShardedRedisClasses(n int, mode ShardMode, classes []workload.SizeClass,
 			sr.mu.Unlock()
 			return nil
 		},
+		Complain: func(dsl.HostCtx) error {
+			// A timed-out round may leave a straggling back still reading the
+			// request bytes: abandon the scratch rather than reuse it.
+			sr.mu.Lock()
+			sr.reqBuf = nil
+			sr.mu.Unlock()
+			return nil
+		},
 	})
 
 	sys, err := runtime.New(prog, runtime.Options{})
@@ -142,6 +160,11 @@ func (sr *ShardedRedis) Do(ctx context.Context, op workload.Op) (wireOp, error) 
 	sr.pending = op
 	sr.mu.Unlock()
 	if err := sr.sys.Invoke(ctx, patterns.FrontInstance, patterns.ShardJunction); err != nil {
+		// The round died mid-flight (cancellation, down endpoint): the
+		// request buffer may still be aliased somewhere, so abandon it.
+		sr.mu.Lock()
+		sr.reqBuf = nil
+		sr.mu.Unlock()
 		return wireOp{}, err
 	}
 	sr.mu.Lock()

@@ -30,6 +30,7 @@ type ShardedSuricata struct {
 	mu      sync.Mutex
 	pending workload.Packet
 	verdict minisuricata.Verdict
+	reqBuf  []byte // request scratch, reusable only after a successful round
 }
 
 // NewShardedSuricata builds the system over n fresh engines.
@@ -49,7 +50,15 @@ func NewShardedSuricata(n int, timeout time.Duration) (*ShardedSuricata, error) 
 		CaptureRequest: func(dsl.HostCtx) ([]byte, error) {
 			ss.mu.Lock()
 			defer ss.mu.Unlock()
-			return serial.Marshal(ss.pending)
+			// Scratch reuse is safe under the single-in-flight invariant of
+			// Process; failed rounds abandon the buffer (see appendWireOp in
+			// glue_wire.go for the full aliasing argument).
+			b, err := serial.AppendMarshal(ss.reqBuf[:0], ss.pending)
+			if err != nil {
+				return nil, err
+			}
+			ss.reqBuf = b
+			return b, nil
 		},
 		HandleRequest: func(ctx dsl.HostCtx, req []byte) ([]byte, error) {
 			var p workload.Packet
@@ -66,6 +75,12 @@ func NewShardedSuricata(n int, timeout time.Duration) (*ShardedSuricata, error) 
 			if len(b) == 1 {
 				ss.verdict = minisuricata.Verdict(b[0])
 			}
+			return nil
+		},
+		Complain: func(dsl.HostCtx) error {
+			ss.mu.Lock()
+			ss.reqBuf = nil // a straggling engine may still hold the request
+			ss.mu.Unlock()
 			return nil
 		},
 	})
@@ -90,6 +105,9 @@ func (ss *ShardedSuricata) Process(ctx context.Context, p workload.Packet) (mini
 	ss.pending = p
 	ss.mu.Unlock()
 	if err := ss.sys.Invoke(ctx, patterns.FrontInstance, patterns.ShardJunction); err != nil {
+		ss.mu.Lock()
+		ss.reqBuf = nil // round died mid-flight: buffer may still be aliased
+		ss.mu.Unlock()
 		return minisuricata.Pass, err
 	}
 	ss.mu.Lock()

@@ -19,6 +19,14 @@ type wireOp struct {
 // encodeWireOp serializes a request/response record.
 func encodeWireOp(op wireOp) ([]byte, error) { return serial.Marshal(op) }
 
+// appendWireOp serializes a record into dst's capacity (serial.AppendMarshal),
+// for adapters that reuse one request buffer across rounds. The runtime
+// retains payloads by reference (kv tables, message payloads), so a buffer
+// may only be reused after the previous round's response was delivered —
+// which happens-after the consumer finished reading the request — and must
+// be abandoned when a round fails (a straggling back-end may still hold it).
+func appendWireOp(dst []byte, op wireOp) ([]byte, error) { return serial.AppendMarshal(dst, op) }
+
 // decodeWireOp parses a request/response record.
 func decodeWireOp(b []byte) (wireOp, error) {
 	var op wireOp

@@ -27,6 +27,10 @@ const maxFrame = 16 << 20
 // encoded as uint16 on the wire.
 const maxFieldLen = 1<<16 - 1
 
+// maxRetainedFrameBuf caps the encode-scratch capacity a Client keeps
+// between sends.
+const maxRetainedFrameBuf = 1 << 20
+
 // heartbeatKey marks transport-level heartbeat frames. The NUL prefix keeps
 // it out of the application key namespace; heartbeats are answered by the
 // server on the same connection and never injected into the Network.
@@ -48,21 +52,32 @@ var (
 // (excluding the outer length prefix). It fails with ErrFieldTooLong when a
 // string field cannot be length-prefixed losslessly, and with
 // ErrFrameTooLarge when the total frame would exceed maxFrame.
-func EncodeMessage(m Message) ([]byte, error) {
+func EncodeMessage(m Message) ([]byte, error) { return AppendMessage(nil, m) }
+
+// AppendMessage appends the frame encoding of m to dst and returns the
+// extended buffer, growing dst at most once. Senders that own a buffer whose
+// previous frame has already hit the socket (Client.Send) reuse it across
+// calls; queueing senders (ReconnectClient) must not, since queued frames
+// alias their buffer until written. On error dst is returned unchanged.
+func AppendMessage(dst []byte, m Message) ([]byte, error) {
 	for _, f := range [...]struct{ name, val string }{
 		{"From", m.From}, {"To", m.To}, {"Key", m.Key},
 	} {
 		if len(f.val) > maxFieldLen {
-			return nil, fmt.Errorf("%w: %s is %d bytes", ErrFieldTooLong, f.name, len(f.val))
+			return dst, fmt.Errorf("%w: %s is %d bytes", ErrFieldTooLong, f.name, len(f.val))
 		}
 	}
 	size := 1 + 1 + // kind, flag
 		varStrLen(m.From) + varStrLen(m.To) + varStrLen(m.Key) +
 		4 + len(m.Payload)
 	if size > maxFrame {
-		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, size)
+		return dst, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, size)
 	}
-	buf := make([]byte, 0, size)
+	buf := dst
+	if n := len(buf) + size; cap(buf) < n {
+		buf = make([]byte, len(dst), n)
+		copy(buf, dst)
+	}
 	buf = append(buf, byte(m.Kind))
 	if m.Flag {
 		buf = append(buf, 1)
@@ -297,6 +312,7 @@ type Client struct {
 	mu   sync.Mutex
 	conn net.Conn
 	w    *bufio.Writer
+	enc  []byte // frame scratch: safe to reuse because Send flushes under mu
 }
 
 // DialTCP connects to a remote compart server.
@@ -312,12 +328,19 @@ func DialTCP(addr string) (*Client, error) {
 // cannot be framed losslessly fail with ErrFieldTooLong or ErrFrameTooLarge
 // before any bytes hit the socket.
 func (c *Client) Send(msg Message) error {
-	body, err := EncodeMessage(msg)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// Encode into the connection's scratch buffer: the previous frame was
+	// flushed before mu was released, so its bytes are dead by now.
+	body, err := AppendMessage(c.enc[:0], msg)
 	if err != nil {
 		return err
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	if cap(body) <= maxRetainedFrameBuf {
+		c.enc = body
+	} else {
+		c.enc = nil // don't let one oversized frame pin memory
+	}
 	if err := writeFrame(c.w, body); err != nil {
 		return err
 	}

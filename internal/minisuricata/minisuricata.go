@@ -278,13 +278,13 @@ func (e *Engine) Snapshot() ([]byte, error) {
 	for _, f := range e.flows {
 		img.Flows = append(img.Flows, *f)
 	}
-	return serial.Config{MaxDepth: 64}.Marshal(img)
+	return serial.Snapshot.Marshal(img)
 }
 
 // Restore replaces the engine state from a snapshot.
 func (e *Engine) Restore(data []byte) error {
 	var img engineImage
-	if err := (serial.Config{MaxDepth: 64}).Unmarshal(data, &img); err != nil {
+	if err := serial.Snapshot.Unmarshal(data, &img); err != nil {
 		return err
 	}
 	e.stats = img.Stats

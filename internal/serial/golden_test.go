@@ -1,0 +1,304 @@
+package serial
+
+// Golden-encoding tests: the compiled codec plans must emit byte-for-byte
+// the encoding of the retained reflect-walk reference (reflectwalk.go), and
+// both decoders must agree on every accepted input. A handful of hex
+// constants additionally pin the wire format itself, so the plan codec and
+// the reference cannot drift together unnoticed.
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"math"
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+type goldenWireOp struct {
+	Get   bool
+	Key   string
+	Value []byte
+	Found bool
+}
+
+type goldenNode struct {
+	Val  int
+	Next *goldenNode
+}
+
+func goldenList(vals ...int) *goldenNode {
+	var head *goldenNode
+	for i := len(vals) - 1; i >= 0; i-- {
+		head = &goldenNode{Val: vals[i], Next: head}
+	}
+	return head
+}
+
+type namedBytes []byte
+
+type goldenEmbed struct {
+	X int
+}
+
+type goldenComposite struct {
+	Flat  flat
+	Nodes []*goldenNode
+	Attrs map[string]map[int8]string
+	Raw   namedBytes
+	Arr   [3]uint16
+	Iface any
+	goldenEmbed
+	priv int
+}
+
+func goldenFixtures() []struct {
+	name string
+	cfg  Config
+	v    any
+} {
+	return []struct {
+		name string
+		cfg  Config
+		v    any
+	}{
+		{"nilRoot", Config{}, nil},
+		{"bool", Config{}, true},
+		{"int", Config{}, int32(-77)},
+		{"uint", Config{}, uint64(math.MaxUint64)},
+		{"float", Config{}, -math.Pi},
+		{"negZero", Config{}, math.Copysign(0, -1)},
+		{"inf", Config{}, math.Inf(1)},
+		{"string", Config{}, "héllo\x00world"},
+		{"emptyString", Config{}, ""},
+		{"bytes", Config{}, []byte{0, 1, 2, 255}},
+		{"namedBytes", Config{}, namedBytes("nb")},
+		{"emptyBytes", Config{}, []byte{}},
+		{"nilBytes", Config{}, []byte(nil)},
+		{"slice", Config{}, []string{"a", "", "c"}},
+		{"emptySlice", Config{}, []int{}},
+		{"array", Config{}, [4]int8{-1, 0, 1, 2}},
+		{"map", Config{}, map[string]int{"b": 2, "a": 1, "c": -3}},
+		{"emptyMap", Config{}, map[uint8]bool{}},
+		{"nilMap", Config{}, map[string]int(nil)},
+		{"intKeyMap", Config{}, map[int16][]byte{-2: {9}, 4: nil, 1: {}}},
+		{"wireOp", Config{}, goldenWireOp{Get: true, Key: "k1", Value: []byte{0xde, 0xad}, Found: true}},
+		{"flat", Config{}, flat{B: true, I: -42, U: 7, F: 3.5, S: "héllo", Raw: []byte{0, 1, 255}}},
+		{"list3", Config{}, goldenList(1, 2, 3)},
+		{"list3depth5", Config{MaxDepth: 5}, goldenList(1, 2, 3)},
+		{"list100depth21", Config{MaxDepth: 21}, goldenList(make([]int, 100)...)},
+		{"composite", Config{}, goldenComposite{
+			Flat:        flat{S: "s", Raw: []byte("r")},
+			Nodes:       []*goldenNode{nil, goldenList(5)},
+			Attrs:       map[string]map[int8]string{"m": {1: "x", -1: "y"}, "": nil},
+			Raw:         namedBytes{1, 2},
+			Arr:         [3]uint16{7, 8, 9},
+			goldenEmbed: goldenEmbed{X: 11},
+			priv:        3,
+		}},
+		{"deepMapDepth4", Config{MaxDepth: 4}, map[string][]*goldenNode{"k": {goldenList(1, 2, 3)}}},
+		{"snapshotCfg", Snapshot, map[string][]byte{"user:1": []byte("alice")}},
+	}
+}
+
+// TestGoldenPlanMatchesReference proves the tentpole's core contract: for
+// every fixture (including depth-truncated ones) the plan-compiled encoder
+// emits exactly the reference encoding, and both decoders reproduce the same
+// value from it.
+func TestGoldenPlanMatchesReference(t *testing.T) {
+	for _, fx := range goldenFixtures() {
+		t.Run(fx.name, func(t *testing.T) {
+			plan, err := fx.cfg.Marshal(fx.v)
+			if err != nil {
+				t.Fatalf("plan marshal: %v", err)
+			}
+			ref, err := fx.cfg.referenceMarshal(fx.v)
+			if err != nil {
+				t.Fatalf("reference marshal: %v", err)
+			}
+			if !reflect.DeepEqual(plan, ref) {
+				t.Fatalf("encoding drift:\nplan %x\nref  %x", plan, ref)
+			}
+			if fx.v == nil {
+				return
+			}
+			// Decode with both decoders into fresh destinations of the
+			// fixture's type and compare.
+			planDst := reflect.New(reflect.TypeOf(fx.v))
+			if err := fx.cfg.Unmarshal(plan, planDst.Interface()); err != nil {
+				t.Fatalf("plan unmarshal: %v", err)
+			}
+			refDst := reflect.New(reflect.TypeOf(fx.v))
+			if err := fx.cfg.referenceUnmarshal(plan, refDst.Interface()); err != nil {
+				t.Fatalf("reference unmarshal: %v", err)
+			}
+			if !reflect.DeepEqual(planDst.Elem().Interface(), refDst.Elem().Interface()) {
+				t.Fatalf("decode drift:\nplan %+v\nref  %+v", planDst.Elem(), refDst.Elem())
+			}
+		})
+	}
+}
+
+// TestGoldenWireBytes pins the wire format with hard-coded encodings, so
+// the plan codec and the reference cannot drift in lockstep.
+func TestGoldenWireBytes(t *testing.T) {
+	lst := goldenList(1, 2, 3)
+	cases := []struct {
+		name string
+		cfg  Config
+		v    any
+		hex  string
+	}{
+		{"wireOp", Config{}, goldenWireOp{Get: true, Key: "k1", Value: []byte{0xde, 0xad}, Found: true}, "0a04010105026b310602dead0101"},
+		{"list3", Config{}, lst, "0b0a0202020b0a0202040b0a02020600"},
+		{"list3trunc5", Config{MaxDepth: 5}, lst, "0b0a0202020b0a0202040b0c"},
+		{"map", Config{}, map[string]int{"b": 2, "a": 1, "c": -3}, "0903050161020205016202040501630205"},
+		{"floats", Config{}, [2]float64{1.5, -2.25}, "0802043ff800000000000004c002000000000000"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			want, err := hex.DecodeString(c.hex)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := c.cfg.Marshal(c.v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("wire drift:\ngot  %x\nwant %x", got, want)
+			}
+		})
+	}
+}
+
+// TestStrictBoundaryDepth walks the exact depth boundary: a 3-node list
+// consumes one depth level per pointer and per struct plus one for the leaf
+// field, so it marshals at MaxDepth 7 and overflows at 6 in strict mode
+// (and truncates, byte-identically to the reference, in default mode).
+func TestStrictBoundaryDepth(t *testing.T) {
+	lst := goldenList(1, 2, 3)
+	if _, err := (Config{MaxDepth: 7, Strict: true}).Marshal(lst); err != nil {
+		t.Fatalf("exact-fit strict marshal failed: %v", err)
+	}
+	if _, err := (Config{MaxDepth: 6, Strict: true}).Marshal(lst); !errors.Is(err, ErrTooDeep) {
+		t.Fatalf("one-short strict marshal: err = %v, want ErrTooDeep", err)
+	}
+	// Reference agrees on both sides of the boundary.
+	if _, err := (Config{MaxDepth: 7, Strict: true}).referenceMarshal(lst); err != nil {
+		t.Fatalf("reference exact-fit: %v", err)
+	}
+	if _, err := (Config{MaxDepth: 6, Strict: true}).referenceMarshal(lst); !errors.Is(err, ErrTooDeep) {
+		t.Fatalf("reference one-short: err = %v, want ErrTooDeep", err)
+	}
+}
+
+// TestTruncRoundTripThroughPlan covers the tagTrunc path end to end through
+// the plan codec: a truncated encoding decodes to the prefix that fit, and
+// the bytes match the reference encoder for the same bound.
+func TestTruncRoundTripThroughPlan(t *testing.T) {
+	for depth := 3; depth <= 15; depth += 2 {
+		cfg := Config{MaxDepth: depth}
+		lst := goldenList(make([]int, 40)...)
+		plan, err := cfg.Marshal(lst)
+		if err != nil {
+			t.Fatalf("depth %d: %v", depth, err)
+		}
+		ref, err := cfg.referenceMarshal(lst)
+		if err != nil {
+			t.Fatalf("depth %d reference: %v", depth, err)
+		}
+		if !reflect.DeepEqual(plan, ref) {
+			t.Fatalf("depth %d: truncated encoding drift\nplan %x\nref  %x", depth, plan, ref)
+		}
+		var out *goldenNode
+		if err := cfg.Unmarshal(plan, &out); err != nil {
+			t.Fatalf("depth %d unmarshal: %v", depth, err)
+		}
+		n := 0
+		for p := out; p != nil; p = p.Next {
+			n++
+		}
+		// (depth-1)/2 nodes carry their value; the pointer that runs out of
+		// depth encodes tagPtr+tagTrunc, which decodes to one extra zero node.
+		if want := (depth-1)/2 + 1; n != want {
+			t.Fatalf("depth %d: decoded %d nodes, want %d", depth, n, want)
+		}
+	}
+}
+
+// allocDelta measures bytes allocated by fn on a quiesced heap.
+func allocDelta(fn func()) uint64 {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	fn()
+	runtime.ReadMemStats(&after)
+	return after.TotalAlloc - before.TotalAlloc
+}
+
+// TestCorruptLengthNoAllocationBomb feeds short frames that declare huge
+// container/byte lengths. Every one must fail with ErrCorrupt without
+// allocating for the declared length (bounded here at 1 MiB, orders of
+// magnitude below the gigabytes the declared lengths demand).
+func TestCorruptLengthNoAllocationBomb(t *testing.T) {
+	huge := binary.AppendUvarint(nil, 1<<40)
+	overflow := binary.AppendUvarint(nil, math.MaxUint64) // > MaxInt: previously a negative-length slice panic
+	cases := []struct {
+		name  string
+		frame []byte
+		dst   func() any
+	}{
+		{"slice", append([]byte{tagSlice}, huge...), func() any { return new([]int64) }},
+		{"sliceOfStructs", append([]byte{tagSlice}, huge...), func() any { return new([]flat) }},
+		{"map", append([]byte{tagMap}, huge...), func() any { return new(map[string][]byte) }},
+		{"string", append([]byte{tagString}, huge...), func() any { return new(string) }},
+		{"bytes", append([]byte{tagBytes}, huge...), func() any { return new([]byte) }},
+		{"stringOverflow", append([]byte{tagString}, overflow...), func() any { return new(string) }},
+		{"bytesOverflow", append([]byte{tagBytes}, overflow...), func() any { return new([]byte) }},
+		{"sliceOverflow", append([]byte{tagSlice}, overflow...), func() any { return new([]int) }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			dst := c.dst()
+			var err error
+			alloc := allocDelta(func() { err = Unmarshal(c.frame, dst) })
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("err = %v, want ErrCorrupt", err)
+			}
+			if alloc > 1<<20 {
+				t.Fatalf("allocated %d bytes decoding a %d-byte corrupt frame", alloc, len(c.frame))
+			}
+		})
+	}
+}
+
+// TestDecodeDepthBounded: a hostile input nesting pointers beyond the
+// decoder's MaxDepth is rejected instead of recursing without bound, while
+// an input at exactly the configured bound still decodes.
+func TestDecodeDepthBounded(t *testing.T) {
+	// 100 nested tagPtr frames around a tagNil, against default MaxDepth 32,
+	// into a type admitting arbitrarily deep pointer chains.
+	type ptrChain *ptrChain
+	frame := make([]byte, 0, 101)
+	for i := 0; i < 100; i++ {
+		frame = append(frame, tagPtr)
+	}
+	frame = append(frame, tagNil)
+	var chain ptrChain
+	if err := Unmarshal(frame, &chain); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("deep ptr chain: err = %v, want ErrCorrupt", err)
+	}
+	// Valid encodings at the bound still round-trip.
+	cfg := Config{MaxDepth: 64}
+	lst := goldenList(make([]int, 31)...)
+	data, err := cfg.Marshal(lst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out *goldenNode
+	if err := cfg.Unmarshal(data, &out); err != nil {
+		t.Fatalf("at-bound decode: %v", err)
+	}
+}

@@ -1,0 +1,523 @@
+package serial
+
+// Decode-side codec plans, mirroring plan_encode.go: one closure tree per
+// destination type, compiled on first use and cached. Each plan owns the
+// full tag dispatch for its type, so steady-state Unmarshal does no
+// per-value kind switching.
+//
+// Two hardenings over the original reflect-walk decoder (wire format
+// unchanged — they only reject inputs no conforming encoder can produce):
+//
+//   - Container and byte lengths are validated against the remaining input
+//     before MakeSlice/MakeMapWithSize/take, so a short corrupt frame
+//     declaring a huge length fails with ErrCorrupt instead of allocating
+//     gigabytes (decoder.length).
+//   - Nesting depth is bounded by the decoding Config's MaxDepth, the same
+//     bound the encoder enforces, so hostile inputs cannot exhaust the
+//     stack. Any encoding decodes under the configuration that produced it.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"reflect"
+	"sync"
+	"sync/atomic"
+)
+
+type decPlan func(d *decoder, v reflect.Value, depth int) error
+
+// decPlans is the decode-side copy-on-write plan cache; see encPlans for the
+// lookup/insert trade-off.
+var (
+	decPlans atomic.Pointer[map[reflect.Type]decPlan]
+	decMu    sync.Mutex
+)
+
+func loadDecPlan(t reflect.Type) (decPlan, bool) {
+	m := decPlans.Load()
+	if m == nil {
+		return nil, false
+	}
+	p, ok := (*m)[t]
+	return p, ok
+}
+
+func storeDecPlan(t reflect.Type, p decPlan) decPlan {
+	decMu.Lock()
+	defer decMu.Unlock()
+	old := decPlans.Load()
+	if old != nil {
+		if prior, ok := (*old)[t]; ok {
+			return prior
+		}
+	}
+	next := make(map[reflect.Type]decPlan, 1)
+	if old != nil {
+		next = make(map[reflect.Type]decPlan, len(*old)+1)
+		for k, v := range *old {
+			next[k] = v
+		}
+	}
+	next[t] = p
+	decPlans.Store(&next)
+	return p
+}
+
+func decPlanFor(t reflect.Type) decPlan {
+	if p, ok := loadDecPlan(t); ok {
+		return p
+	}
+	c := &decCompiler{}
+	return c.plan(t)
+}
+
+type decCompiler struct {
+	inProgress map[reflect.Type]decPlan
+}
+
+func (c *decCompiler) plan(t reflect.Type) decPlan {
+	if p, ok := loadDecPlan(t); ok {
+		return p
+	}
+	if p, ok := c.inProgress[t]; ok {
+		return p
+	}
+	if c.inProgress == nil {
+		c.inProgress = map[reflect.Type]decPlan{}
+	}
+	var target decPlan
+	c.inProgress[t] = func(d *decoder, v reflect.Value, depth int) error {
+		return target(d, v, depth)
+	}
+	target = c.compile(t)
+	c.inProgress[t] = target
+	return storeDecPlan(t, target)
+}
+
+// tagLabel names each wire tag the way the reflect-walk decoder's
+// type-mismatch errors do.
+func tagLabel(tg byte) (string, bool) {
+	switch tg {
+	case tagBool:
+		return "bool", true
+	case tagInt:
+		return "int", true
+	case tagUint:
+		return "uint", true
+	case tagFloat:
+		return "float", true
+	case tagString:
+		return "string", true
+	case tagBytes:
+		return "[]byte", true
+	case tagSlice:
+		return "slice", true
+	case tagArray:
+		return "array", true
+	case tagMap:
+		return "map", true
+	case tagStruct:
+		return "struct", true
+	case tagPtr:
+		return "pointer", true
+	}
+	return "", false
+}
+
+// badTag reports a tag the destination type cannot accept: a type mismatch
+// for known tags, corruption for unknown ones.
+func badTag(tg byte, t reflect.Type) error {
+	if label, ok := tagLabel(tg); ok {
+		return fmt.Errorf("%w: encoded %s into %s", ErrCorrupt, label, t)
+	}
+	return fmt.Errorf("%w: unknown tag %d", ErrCorrupt, tg)
+}
+
+var errDecodeDepth = fmt.Errorf("%w: nesting exceeds max depth", ErrCorrupt)
+
+func (c *decCompiler) compile(t reflect.Type) decPlan {
+	switch t.Kind() {
+	case reflect.Bool:
+		return decodeBool
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		return decodeInt
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr:
+		return decodeUint
+	case reflect.Float32, reflect.Float64:
+		return decodeFloat
+	case reflect.String:
+		return decodeString
+	case reflect.Slice:
+		if t.Elem().Kind() == reflect.Uint8 {
+			return decodeByteSlice
+		}
+		return c.sliceVariant(t)
+	case reflect.Array:
+		return c.arrayVariant(t)
+	case reflect.Map:
+		return c.mapVariant(t)
+	case reflect.Struct:
+		return c.structVariant(t)
+	case reflect.Pointer:
+		return c.ptrVariant(t)
+	default:
+		// Interfaces (and unserializable kinds like chan) only ever decode
+		// the nil/truncation markers; any concrete tag is a mismatch.
+		return zeroOnlyVariant(t)
+	}
+}
+
+func decodeBool(d *decoder, v reflect.Value, depth int) error {
+	tg, err := d.tag()
+	if err != nil {
+		return err
+	}
+	if tg == tagNil || tg == tagTrunc {
+		v.SetBool(false)
+		return nil
+	}
+	if depth <= 0 {
+		return errDecodeDepth
+	}
+	if tg != tagBool {
+		return badTag(tg, v.Type())
+	}
+	b, err := d.take(1)
+	if err != nil {
+		return err
+	}
+	v.SetBool(b[0] == 1)
+	return nil
+}
+
+func decodeInt(d *decoder, v reflect.Value, depth int) error {
+	tg, err := d.tag()
+	if err != nil {
+		return err
+	}
+	if tg == tagNil || tg == tagTrunc {
+		v.SetInt(0)
+		return nil
+	}
+	if depth <= 0 {
+		return errDecodeDepth
+	}
+	if tg != tagInt {
+		return badTag(tg, v.Type())
+	}
+	i, err := d.varint()
+	if err != nil {
+		return err
+	}
+	v.SetInt(i)
+	return nil
+}
+
+func decodeUint(d *decoder, v reflect.Value, depth int) error {
+	tg, err := d.tag()
+	if err != nil {
+		return err
+	}
+	if tg == tagNil || tg == tagTrunc {
+		v.SetUint(0)
+		return nil
+	}
+	if depth <= 0 {
+		return errDecodeDepth
+	}
+	if tg != tagUint {
+		return badTag(tg, v.Type())
+	}
+	u, err := d.uvarint()
+	if err != nil {
+		return err
+	}
+	v.SetUint(u)
+	return nil
+}
+
+func decodeFloat(d *decoder, v reflect.Value, depth int) error {
+	tg, err := d.tag()
+	if err != nil {
+		return err
+	}
+	if tg == tagNil || tg == tagTrunc {
+		v.SetFloat(0)
+		return nil
+	}
+	if depth <= 0 {
+		return errDecodeDepth
+	}
+	if tg != tagFloat {
+		return badTag(tg, v.Type())
+	}
+	b, err := d.take(8)
+	if err != nil {
+		return err
+	}
+	v.SetFloat(math.Float64frombits(binary.BigEndian.Uint64(b)))
+	return nil
+}
+
+func decodeString(d *decoder, v reflect.Value, depth int) error {
+	tg, err := d.tag()
+	if err != nil {
+		return err
+	}
+	if tg == tagNil || tg == tagTrunc {
+		v.SetString("")
+		return nil
+	}
+	if depth <= 0 {
+		return errDecodeDepth
+	}
+	if tg != tagString {
+		return badTag(tg, v.Type())
+	}
+	n, err := d.length(1)
+	if err != nil {
+		return err
+	}
+	b, err := d.take(n)
+	if err != nil {
+		return err
+	}
+	v.SetString(string(b))
+	return nil
+}
+
+func decodeByteSlice(d *decoder, v reflect.Value, depth int) error {
+	tg, err := d.tag()
+	if err != nil {
+		return err
+	}
+	if tg == tagNil || tg == tagTrunc {
+		v.Set(reflect.Zero(v.Type()))
+		return nil
+	}
+	if depth <= 0 {
+		return errDecodeDepth
+	}
+	if tg != tagBytes {
+		return badTag(tg, v.Type())
+	}
+	n, err := d.length(1)
+	if err != nil {
+		return err
+	}
+	b, err := d.take(n)
+	if err != nil {
+		return err
+	}
+	v.SetBytes(append([]byte(nil), b...))
+	return nil
+}
+
+func (c *decCompiler) sliceVariant(t reflect.Type) decPlan {
+	elem := c.plan(t.Elem())
+	zero := reflect.Zero(t)
+	return func(d *decoder, v reflect.Value, depth int) error {
+		tg, err := d.tag()
+		if err != nil {
+			return err
+		}
+		if tg == tagNil || tg == tagTrunc {
+			v.Set(zero)
+			return nil
+		}
+		if depth <= 0 {
+			return errDecodeDepth
+		}
+		if tg != tagSlice {
+			return badTag(tg, t)
+		}
+		n, err := d.length(1)
+		if err != nil {
+			return err
+		}
+		s := reflect.MakeSlice(t, n, n)
+		for i := 0; i < n; i++ {
+			if err := elem(d, s.Index(i), depth-1); err != nil {
+				return err
+			}
+		}
+		v.Set(s)
+		return nil
+	}
+}
+
+func (c *decCompiler) arrayVariant(t reflect.Type) decPlan {
+	elem := c.plan(t.Elem())
+	zero := reflect.Zero(t)
+	want := uint64(t.Len())
+	return func(d *decoder, v reflect.Value, depth int) error {
+		tg, err := d.tag()
+		if err != nil {
+			return err
+		}
+		if tg == tagNil || tg == tagTrunc {
+			v.Set(zero)
+			return nil
+		}
+		if depth <= 0 {
+			return errDecodeDepth
+		}
+		if tg != tagArray {
+			return badTag(tg, t)
+		}
+		n, err := d.uvarint()
+		if err != nil {
+			return err
+		}
+		if n != want {
+			return fmt.Errorf("%w: encoded array into %s", ErrCorrupt, t)
+		}
+		for i := 0; i < int(want); i++ {
+			if err := elem(d, v.Index(i), depth-1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+func (c *decCompiler) mapVariant(t reflect.Type) decPlan {
+	key := c.plan(t.Key())
+	val := c.plan(t.Elem())
+	zero := reflect.Zero(t)
+	keyZero := reflect.Zero(t.Key())
+	valZero := reflect.Zero(t.Elem())
+	return func(d *decoder, v reflect.Value, depth int) error {
+		tg, err := d.tag()
+		if err != nil {
+			return err
+		}
+		if tg == tagNil || tg == tagTrunc {
+			v.Set(zero)
+			return nil
+		}
+		if depth <= 0 {
+			return errDecodeDepth
+		}
+		if tg != tagMap {
+			return badTag(tg, t)
+		}
+		// Each entry costs at least two bytes of wire data (key and value
+		// tags), bounding the MakeMapWithSize hint by the input size.
+		n, err := d.length(2)
+		if err != nil {
+			return err
+		}
+		m := reflect.MakeMapWithSize(t, n)
+		// One key and one value slot are reused across entries
+		// (SetMapIndex copies); reset to zero so a partial decode of the
+		// previous entry cannot leak into the next.
+		kslot := reflect.New(t.Key()).Elem()
+		vslot := reflect.New(t.Elem()).Elem()
+		for i := 0; i < n; i++ {
+			kslot.Set(keyZero)
+			if err := key(d, kslot, depth-1); err != nil {
+				return err
+			}
+			vslot.Set(valZero)
+			if err := val(d, vslot, depth-1); err != nil {
+				return err
+			}
+			m.SetMapIndex(kslot, vslot)
+		}
+		v.Set(m)
+		return nil
+	}
+}
+
+func (c *decCompiler) structVariant(t reflect.Type) decPlan {
+	type fieldPlan struct {
+		idx  int
+		plan decPlan
+	}
+	fields := make([]fieldPlan, 0, t.NumField())
+	for i := 0; i < t.NumField(); i++ {
+		if !t.Field(i).IsExported() {
+			continue
+		}
+		fields = append(fields, fieldPlan{idx: i, plan: c.plan(t.Field(i).Type)})
+	}
+	zero := reflect.Zero(t)
+	return func(d *decoder, v reflect.Value, depth int) error {
+		tg, err := d.tag()
+		if err != nil {
+			return err
+		}
+		if tg == tagNil || tg == tagTrunc {
+			v.Set(zero)
+			return nil
+		}
+		if depth <= 0 {
+			return errDecodeDepth
+		}
+		if tg != tagStruct {
+			return badTag(tg, t)
+		}
+		n, err := d.uvarint()
+		if err != nil {
+			return err
+		}
+		decoded := 0
+		for _, f := range fields {
+			if uint64(decoded) >= n {
+				break
+			}
+			if err := f.plan(d, v.Field(f.idx), depth-1); err != nil {
+				return err
+			}
+			decoded++
+		}
+		if uint64(decoded) != n {
+			return fmt.Errorf("%w: struct field count mismatch (%d encoded, %d decoded)", ErrCorrupt, n, decoded)
+		}
+		return nil
+	}
+}
+
+func (c *decCompiler) ptrVariant(t reflect.Type) decPlan {
+	elem := c.plan(t.Elem())
+	zero := reflect.Zero(t)
+	return func(d *decoder, v reflect.Value, depth int) error {
+		tg, err := d.tag()
+		if err != nil {
+			return err
+		}
+		if tg == tagNil || tg == tagTrunc {
+			v.Set(zero)
+			return nil
+		}
+		if depth <= 0 {
+			return errDecodeDepth
+		}
+		if tg != tagPtr {
+			return badTag(tg, t)
+		}
+		p := reflect.New(t.Elem())
+		if err := elem(d, p.Elem(), depth-1); err != nil {
+			return err
+		}
+		v.Set(p)
+		return nil
+	}
+}
+
+func zeroOnlyVariant(t reflect.Type) decPlan {
+	zero := reflect.Zero(t)
+	return func(d *decoder, v reflect.Value, depth int) error {
+		tg, err := d.tag()
+		if err != nil {
+			return err
+		}
+		if tg == tagNil || tg == tagTrunc {
+			v.Set(zero)
+			return nil
+		}
+		return badTag(tg, t)
+	}
+}

@@ -1,0 +1,364 @@
+package serial
+
+// Encode-side codec plans. A plan is a closure tree compiled once per
+// reflect.Type — the moral equivalent of the paper's ahead-of-time generated
+// serializer functions: the kind switch, exported-field selection and
+// element codec lookup all happen at compile time, so executing a plan does
+// no type introspection beyond reading the value itself.
+//
+// Plans are configuration-independent: traversal bounds (depth, strict
+// mode) travel through the encoder and the depth parameter, so one cached
+// plan serves every Config. Recursive types compile through a forwarding
+// closure that is patched once the real plan exists.
+//
+// The output buffer is threaded through the plans as a parameter/return
+// pair rather than stored on the encoder: keeping the slice header in
+// registers avoids a GC write barrier on every append, which is measurable
+// at wire-record rates. The encoder carries only the Config (for strict
+// mode) and the retained scratch capacity between pooled rounds.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"reflect"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+type encPlan func(e *encoder, buf []byte, v reflect.Value, depth int) ([]byte, error)
+
+// encPlans caches finished plans per type behind a copy-on-write map: the
+// steady-state lookup is one atomic load plus a plain map access (cheaper
+// than a sync.Map on the per-Marshal hot path), while the rare insert at
+// compile time copies the map under encMu. Concurrent first encounters may
+// compile duplicate (equivalent) plans; storeEncPlan keeps one.
+var (
+	encPlans atomic.Pointer[map[reflect.Type]encPlan]
+	encMu    sync.Mutex
+)
+
+func loadEncPlan(t reflect.Type) (encPlan, bool) {
+	m := encPlans.Load()
+	if m == nil {
+		return nil, false
+	}
+	p, ok := (*m)[t]
+	return p, ok
+}
+
+// storeEncPlan publishes a finished plan, returning the winner if another
+// goroutine compiled the same type first.
+func storeEncPlan(t reflect.Type, p encPlan) encPlan {
+	encMu.Lock()
+	defer encMu.Unlock()
+	old := encPlans.Load()
+	if old != nil {
+		if prior, ok := (*old)[t]; ok {
+			return prior
+		}
+	}
+	next := make(map[reflect.Type]encPlan, 1)
+	if old != nil {
+		next = make(map[reflect.Type]encPlan, len(*old)+1)
+		for k, v := range *old {
+			next[k] = v
+		}
+	}
+	next[t] = p
+	encPlans.Store(&next)
+	return p
+}
+
+func encPlanFor(t reflect.Type) encPlan {
+	if p, ok := loadEncPlan(t); ok {
+		return p
+	}
+	c := &encCompiler{}
+	return c.plan(t)
+}
+
+// encCompiler tracks in-progress compilations so recursive types (a struct
+// holding a pointer to itself) terminate: the second encounter of a type
+// yields a forwarding plan whose target is patched after the first
+// compilation returns.
+type encCompiler struct {
+	inProgress map[reflect.Type]encPlan
+}
+
+func (c *encCompiler) plan(t reflect.Type) encPlan {
+	if p, ok := loadEncPlan(t); ok {
+		return p
+	}
+	if p, ok := c.inProgress[t]; ok {
+		return p
+	}
+	if c.inProgress == nil {
+		c.inProgress = map[reflect.Type]encPlan{}
+	}
+	var target encPlan
+	c.inProgress[t] = func(e *encoder, buf []byte, v reflect.Value, depth int) ([]byte, error) {
+		return target(e, buf, v, depth)
+	}
+	target = c.compile(t)
+	c.inProgress[t] = target
+	return storeEncPlan(t, target)
+}
+
+func (c *encCompiler) compile(t reflect.Type) encPlan {
+	switch t.Kind() {
+	case reflect.Bool:
+		return encodeBool
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		return encodeInt
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr:
+		return encodeUint
+	case reflect.Float32, reflect.Float64:
+		return encodeFloat
+	case reflect.String:
+		return encodeString
+	case reflect.Slice:
+		if t.Elem().Kind() == reflect.Uint8 {
+			return encodeByteSlice
+		}
+		return c.sliceVariant(t)
+	case reflect.Array:
+		return c.arrayVariant(t)
+	case reflect.Map:
+		return c.mapVariant(t)
+	case reflect.Struct:
+		return c.structVariant(t)
+	case reflect.Pointer:
+		return c.ptrVariant(t)
+	case reflect.Interface:
+		return encodeInterface
+	default:
+		return unsupportedVariant(t.Kind())
+	}
+}
+
+func encodeBool(e *encoder, buf []byte, v reflect.Value, depth int) ([]byte, error) {
+	if depth <= 0 {
+		return e.truncate(buf)
+	}
+	if v.Bool() {
+		return append(buf, tagBool, 1), nil
+	}
+	return append(buf, tagBool, 0), nil
+}
+
+func encodeInt(e *encoder, buf []byte, v reflect.Value, depth int) ([]byte, error) {
+	if depth <= 0 {
+		return e.truncate(buf)
+	}
+	return binary.AppendVarint(append(buf, tagInt), v.Int()), nil
+}
+
+func encodeUint(e *encoder, buf []byte, v reflect.Value, depth int) ([]byte, error) {
+	if depth <= 0 {
+		return e.truncate(buf)
+	}
+	return binary.AppendUvarint(append(buf, tagUint), v.Uint()), nil
+}
+
+func encodeFloat(e *encoder, buf []byte, v reflect.Value, depth int) ([]byte, error) {
+	if depth <= 0 {
+		return e.truncate(buf)
+	}
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], math.Float64bits(v.Float()))
+	buf = append(buf, tagFloat)
+	return append(buf, b[:]...), nil
+}
+
+func encodeString(e *encoder, buf []byte, v reflect.Value, depth int) ([]byte, error) {
+	if depth <= 0 {
+		return e.truncate(buf)
+	}
+	s := v.String()
+	buf = binary.AppendUvarint(append(buf, tagString), uint64(len(s)))
+	return append(buf, s...), nil
+}
+
+func encodeByteSlice(e *encoder, buf []byte, v reflect.Value, depth int) ([]byte, error) {
+	if depth <= 0 {
+		return e.truncate(buf)
+	}
+	if v.IsNil() {
+		return append(buf, tagNil), nil
+	}
+	b := v.Bytes()
+	buf = binary.AppendUvarint(append(buf, tagBytes), uint64(len(b)))
+	return append(buf, b...), nil
+}
+
+func (c *encCompiler) sliceVariant(t reflect.Type) encPlan {
+	elem := c.plan(t.Elem())
+	return func(e *encoder, buf []byte, v reflect.Value, depth int) ([]byte, error) {
+		if depth <= 0 {
+			return e.truncate(buf)
+		}
+		if v.IsNil() {
+			return append(buf, tagNil), nil
+		}
+		n := v.Len()
+		buf = binary.AppendUvarint(append(buf, tagSlice), uint64(n))
+		var err error
+		for i := 0; i < n; i++ {
+			if buf, err = elem(e, buf, v.Index(i), depth-1); err != nil {
+				return buf, err
+			}
+		}
+		return buf, nil
+	}
+}
+
+func (c *encCompiler) arrayVariant(t reflect.Type) encPlan {
+	elem := c.plan(t.Elem())
+	n := t.Len()
+	return func(e *encoder, buf []byte, v reflect.Value, depth int) ([]byte, error) {
+		if depth <= 0 {
+			return e.truncate(buf)
+		}
+		buf = binary.AppendUvarint(append(buf, tagArray), uint64(n))
+		var err error
+		for i := 0; i < n; i++ {
+			if buf, err = elem(e, buf, v.Index(i), depth-1); err != nil {
+				return buf, err
+			}
+		}
+		return buf, nil
+	}
+}
+
+func (c *encCompiler) mapVariant(t reflect.Type) encPlan {
+	key := c.plan(t.Key())
+	val := c.plan(t.Elem())
+	valSlice := reflect.SliceOf(t.Elem())
+	return func(e *encoder, buf []byte, v reflect.Value, depth int) ([]byte, error) {
+		if depth <= 0 {
+			return e.truncate(buf)
+		}
+		if v.IsNil() {
+			return append(buf, tagNil), nil
+		}
+		n := v.Len()
+		buf = binary.AppendUvarint(append(buf, tagMap), uint64(n))
+		if n == 0 {
+			return buf, nil
+		}
+		// Deterministic key order: encode all keys into one pooled scratch
+		// buffer (replacing the per-key sub-encoder allocation of the
+		// reflect-walk codec), sort index ranges by encoded bytes, then
+		// interleave key bytes with value encodings. SetIterKey/SetIterValue
+		// copy into reused storage, avoiding MapIter's per-entry boxing. The
+		// pooled encoder is borrowed only for its retained scratch capacity;
+		// the key plans run against e, whose Config governs this traversal.
+		sub := encPool.Get().(*encoder)
+		kbuf := sub.buf[:0]
+		kslot := reflect.New(t.Key()).Elem()
+		vals := reflect.MakeSlice(valSlice, n, n)
+		offs := make([]int, 1, n+1)
+		iter := v.MapRange()
+		var err error
+		for i := 0; iter.Next(); i++ {
+			kslot.SetIterKey(iter)
+			if kbuf, err = key(e, kbuf, kslot, depth-1); err != nil {
+				sub.buf = kbuf
+				putEncoder(sub)
+				return buf, err
+			}
+			offs = append(offs, len(kbuf))
+			vals.Index(i).SetIterValue(iter)
+		}
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool {
+			ka := kbuf[offs[idx[a]]:offs[idx[a]+1]]
+			kb := kbuf[offs[idx[b]]:offs[idx[b]+1]]
+			return bytes.Compare(ka, kb) < 0
+		})
+		for _, i := range idx {
+			buf = append(buf, kbuf[offs[i]:offs[i+1]]...)
+			if buf, err = val(e, buf, vals.Index(i), depth-1); err != nil {
+				sub.buf = kbuf
+				putEncoder(sub)
+				return buf, err
+			}
+		}
+		sub.buf = kbuf
+		putEncoder(sub)
+		return buf, nil
+	}
+}
+
+func (c *encCompiler) structVariant(t reflect.Type) encPlan {
+	type fieldPlan struct {
+		idx  int
+		plan encPlan
+	}
+	fields := make([]fieldPlan, 0, t.NumField())
+	for i := 0; i < t.NumField(); i++ {
+		if !t.Field(i).IsExported() {
+			continue
+		}
+		fields = append(fields, fieldPlan{idx: i, plan: c.plan(t.Field(i).Type)})
+	}
+	n := uint64(len(fields))
+	return func(e *encoder, buf []byte, v reflect.Value, depth int) ([]byte, error) {
+		if depth <= 0 {
+			return e.truncate(buf)
+		}
+		buf = binary.AppendUvarint(append(buf, tagStruct), n)
+		var err error
+		for _, f := range fields {
+			if buf, err = f.plan(e, buf, v.Field(f.idx), depth-1); err != nil {
+				return buf, err
+			}
+		}
+		return buf, nil
+	}
+}
+
+func (c *encCompiler) ptrVariant(t reflect.Type) encPlan {
+	elem := c.plan(t.Elem())
+	return func(e *encoder, buf []byte, v reflect.Value, depth int) ([]byte, error) {
+		if depth <= 0 {
+			return e.truncate(buf)
+		}
+		if v.IsNil() {
+			return append(buf, tagNil), nil
+		}
+		return elem(e, append(buf, tagPtr), v.Elem(), depth-1)
+	}
+}
+
+// encodeInterface traverses through the dynamic value at the same depth,
+// resolving its plan from the cache at run time (the dynamic type is
+// unknowable at compile time).
+func encodeInterface(e *encoder, buf []byte, v reflect.Value, depth int) ([]byte, error) {
+	if depth <= 0 {
+		return e.truncate(buf)
+	}
+	if v.IsNil() {
+		return append(buf, tagNil), nil
+	}
+	iv := v.Elem()
+	return encPlanFor(iv.Type())(e, buf, iv, depth)
+}
+
+// unsupportedVariant defers the ErrType report to traversal time: an
+// unsupported kind below the depth bound truncates like any other subtree
+// rather than poisoning the whole type.
+func unsupportedVariant(k reflect.Kind) encPlan {
+	return func(e *encoder, buf []byte, v reflect.Value, depth int) ([]byte, error) {
+		if depth <= 0 {
+			return e.truncate(buf)
+		}
+		return buf, fmt.Errorf("%w: %s", ErrType, k)
+	}
+}

@@ -1,0 +1,402 @@
+package serial
+
+// This file preserves the original reflect-walk codec verbatim (modulo
+// renames) as an executable specification of the wire format. The compiled
+// codec plans (plan_encode.go / plan_decode.go) must emit and accept exactly
+// the bytes this implementation does; golden tests assert the equivalence
+// and the BenchmarkSerialAblation suite measures the gap. It performs full
+// type introspection on every value — the per-call cost the plan cache
+// removes.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"reflect"
+	"sort"
+)
+
+// referenceMarshal encodes a value with the retained reflect-walk encoder.
+func (c Config) referenceMarshal(v any) ([]byte, error) {
+	e := &refEncoder{cfg: c}
+	if err := e.encode(reflect.ValueOf(v), c.maxDepth()); err != nil {
+		return nil, err
+	}
+	if len(e.buf) > c.maxBytes() {
+		return nil, fmt.Errorf("%w: %d bytes", ErrTooLarge, len(e.buf))
+	}
+	return e.buf, nil
+}
+
+type refEncoder struct {
+	cfg Config
+	buf []byte
+}
+
+func (e *refEncoder) tag(t byte) { e.buf = append(e.buf, t) }
+
+func (e *refEncoder) uvarint(u uint64) { e.buf = binary.AppendUvarint(e.buf, u) }
+
+func (e *refEncoder) varint(i int64) { e.buf = binary.AppendVarint(e.buf, i) }
+
+func (e *refEncoder) encode(v reflect.Value, depth int) error {
+	if !v.IsValid() {
+		e.tag(tagNil)
+		return nil
+	}
+	if depth <= 0 {
+		if e.cfg.Strict {
+			return ErrTooDeep
+		}
+		e.tag(tagTrunc)
+		return nil
+	}
+	switch v.Kind() {
+	case reflect.Bool:
+		e.tag(tagBool)
+		if v.Bool() {
+			e.buf = append(e.buf, 1)
+		} else {
+			e.buf = append(e.buf, 0)
+		}
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		e.tag(tagInt)
+		e.varint(v.Int())
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr:
+		e.tag(tagUint)
+		e.uvarint(v.Uint())
+	case reflect.Float32, reflect.Float64:
+		e.tag(tagFloat)
+		var b [8]byte
+		binary.BigEndian.PutUint64(b[:], math.Float64bits(v.Float()))
+		e.buf = append(e.buf, b[:]...)
+	case reflect.String:
+		e.tag(tagString)
+		s := v.String()
+		e.uvarint(uint64(len(s)))
+		e.buf = append(e.buf, s...)
+	case reflect.Slice:
+		if v.IsNil() {
+			e.tag(tagNil)
+			return nil
+		}
+		if v.Type().Elem().Kind() == reflect.Uint8 {
+			e.tag(tagBytes)
+			b := v.Bytes()
+			e.uvarint(uint64(len(b)))
+			e.buf = append(e.buf, b...)
+			return nil
+		}
+		e.tag(tagSlice)
+		e.uvarint(uint64(v.Len()))
+		for i := 0; i < v.Len(); i++ {
+			if err := e.encode(v.Index(i), depth-1); err != nil {
+				return err
+			}
+		}
+	case reflect.Array:
+		e.tag(tagArray)
+		e.uvarint(uint64(v.Len()))
+		for i := 0; i < v.Len(); i++ {
+			if err := e.encode(v.Index(i), depth-1); err != nil {
+				return err
+			}
+		}
+	case reflect.Map:
+		if v.IsNil() {
+			e.tag(tagNil)
+			return nil
+		}
+		e.tag(tagMap)
+		e.uvarint(uint64(v.Len()))
+		// Deterministic key order: encode keys, sort by encoding.
+		type kv struct{ k, val reflect.Value }
+		pairs := make([]kv, 0, v.Len())
+		iter := v.MapRange()
+		for iter.Next() {
+			pairs = append(pairs, kv{iter.Key(), iter.Value()})
+		}
+		keyEncs := make([][]byte, len(pairs))
+		for i, p := range pairs {
+			sub := &refEncoder{cfg: e.cfg}
+			if err := sub.encode(p.k, depth-1); err != nil {
+				return err
+			}
+			keyEncs[i] = sub.buf
+		}
+		idx := make([]int, len(pairs))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool {
+			return string(keyEncs[idx[a]]) < string(keyEncs[idx[b]])
+		})
+		for _, i := range idx {
+			e.buf = append(e.buf, keyEncs[i]...)
+			if err := e.encode(pairs[i].val, depth-1); err != nil {
+				return err
+			}
+		}
+	case reflect.Struct:
+		e.tag(tagStruct)
+		t := v.Type()
+		// Count exported fields first.
+		n := 0
+		for i := 0; i < t.NumField(); i++ {
+			if t.Field(i).IsExported() {
+				n++
+			}
+		}
+		e.uvarint(uint64(n))
+		for i := 0; i < t.NumField(); i++ {
+			if !t.Field(i).IsExported() {
+				continue
+			}
+			if err := e.encode(v.Field(i), depth-1); err != nil {
+				return err
+			}
+		}
+	case reflect.Pointer:
+		if v.IsNil() {
+			e.tag(tagNil)
+			return nil
+		}
+		e.tag(tagPtr)
+		return e.encode(v.Elem(), depth-1)
+	case reflect.Interface:
+		if v.IsNil() {
+			e.tag(tagNil)
+			return nil
+		}
+		// Interfaces are traversed through their dynamic value; decoding
+		// requires a concrete destination type.
+		return e.encode(v.Elem(), depth)
+	default:
+		return fmt.Errorf("%w: %s", ErrType, v.Kind())
+	}
+	return nil
+}
+
+// referenceUnmarshal decodes with the retained reflect-walk decoder. Unlike
+// the plan-based decoder it performs no wire-length validation before
+// allocating containers and no nesting-depth bound, so it must only be fed
+// encodings known to be well-formed (the golden and differential-fuzz tests
+// call it on inputs the plan decoder has already accepted).
+func (c Config) referenceUnmarshal(data []byte, dst any) error {
+	rv := reflect.ValueOf(dst)
+	if rv.Kind() != reflect.Pointer || rv.IsNil() {
+		return fmt.Errorf("%w: destination must be a non-nil pointer", ErrType)
+	}
+	d := &refDecoder{buf: data}
+	if err := d.decode(rv.Elem()); err != nil {
+		return err
+	}
+	if len(d.buf) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(d.buf))
+	}
+	return nil
+}
+
+type refDecoder struct{ buf []byte }
+
+func (d *refDecoder) take(n int) ([]byte, error) {
+	if len(d.buf) < n {
+		return nil, fmt.Errorf("%w: need %d bytes, have %d", ErrCorrupt, n, len(d.buf))
+	}
+	b := d.buf[:n]
+	d.buf = d.buf[n:]
+	return b, nil
+}
+
+func (d *refDecoder) tag() (byte, error) {
+	b, err := d.take(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (d *refDecoder) uvarint() (uint64, error) {
+	u, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: bad uvarint", ErrCorrupt)
+	}
+	d.buf = d.buf[n:]
+	return u, nil
+}
+
+func (d *refDecoder) varint() (int64, error) {
+	i, n := binary.Varint(d.buf)
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: bad varint", ErrCorrupt)
+	}
+	d.buf = d.buf[n:]
+	return i, nil
+}
+
+func (d *refDecoder) decode(v reflect.Value) error {
+	t, err := d.tag()
+	if err != nil {
+		return err
+	}
+	switch t {
+	case tagNil, tagTrunc:
+		v.Set(reflect.Zero(v.Type()))
+		return nil
+	case tagBool:
+		b, err := d.take(1)
+		if err != nil {
+			return err
+		}
+		if v.Kind() != reflect.Bool {
+			return typeMismatch("bool", v)
+		}
+		v.SetBool(b[0] == 1)
+	case tagInt:
+		i, err := d.varint()
+		if err != nil {
+			return err
+		}
+		switch v.Kind() {
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+			v.SetInt(i)
+		default:
+			return typeMismatch("int", v)
+		}
+	case tagUint:
+		u, err := d.uvarint()
+		if err != nil {
+			return err
+		}
+		switch v.Kind() {
+		case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr:
+			v.SetUint(u)
+		default:
+			return typeMismatch("uint", v)
+		}
+	case tagFloat:
+		b, err := d.take(8)
+		if err != nil {
+			return err
+		}
+		switch v.Kind() {
+		case reflect.Float32, reflect.Float64:
+			v.SetFloat(math.Float64frombits(binary.BigEndian.Uint64(b)))
+		default:
+			return typeMismatch("float", v)
+		}
+	case tagString:
+		n, err := d.uvarint()
+		if err != nil {
+			return err
+		}
+		b, err := d.take(int(n))
+		if err != nil {
+			return err
+		}
+		if v.Kind() != reflect.String {
+			return typeMismatch("string", v)
+		}
+		v.SetString(string(b))
+	case tagBytes:
+		n, err := d.uvarint()
+		if err != nil {
+			return err
+		}
+		b, err := d.take(int(n))
+		if err != nil {
+			return err
+		}
+		if v.Kind() != reflect.Slice || v.Type().Elem().Kind() != reflect.Uint8 {
+			return typeMismatch("[]byte", v)
+		}
+		v.SetBytes(append([]byte(nil), b...))
+	case tagSlice:
+		n, err := d.uvarint()
+		if err != nil {
+			return err
+		}
+		if v.Kind() != reflect.Slice {
+			return typeMismatch("slice", v)
+		}
+		s := reflect.MakeSlice(v.Type(), int(n), int(n))
+		for i := 0; i < int(n); i++ {
+			if err := d.decode(s.Index(i)); err != nil {
+				return err
+			}
+		}
+		v.Set(s)
+	case tagArray:
+		n, err := d.uvarint()
+		if err != nil {
+			return err
+		}
+		if v.Kind() != reflect.Array || v.Len() != int(n) {
+			return typeMismatch("array", v)
+		}
+		for i := 0; i < int(n); i++ {
+			if err := d.decode(v.Index(i)); err != nil {
+				return err
+			}
+		}
+	case tagMap:
+		n, err := d.uvarint()
+		if err != nil {
+			return err
+		}
+		if v.Kind() != reflect.Map {
+			return typeMismatch("map", v)
+		}
+		m := reflect.MakeMapWithSize(v.Type(), int(n))
+		for i := 0; i < int(n); i++ {
+			k := reflect.New(v.Type().Key()).Elem()
+			if err := d.decode(k); err != nil {
+				return err
+			}
+			val := reflect.New(v.Type().Elem()).Elem()
+			if err := d.decode(val); err != nil {
+				return err
+			}
+			m.SetMapIndex(k, val)
+		}
+		v.Set(m)
+	case tagStruct:
+		n, err := d.uvarint()
+		if err != nil {
+			return err
+		}
+		if v.Kind() != reflect.Struct {
+			return typeMismatch("struct", v)
+		}
+		rt := v.Type()
+		decoded := 0
+		for i := 0; i < rt.NumField() && decoded < int(n); i++ {
+			if !rt.Field(i).IsExported() {
+				continue
+			}
+			if err := d.decode(v.Field(i)); err != nil {
+				return err
+			}
+			decoded++
+		}
+		if decoded != int(n) {
+			return fmt.Errorf("%w: struct field count mismatch (%d encoded, %d decoded)", ErrCorrupt, n, decoded)
+		}
+	case tagPtr:
+		if v.Kind() != reflect.Pointer {
+			return typeMismatch("pointer", v)
+		}
+		p := reflect.New(v.Type().Elem())
+		if err := d.decode(p.Elem()); err != nil {
+			return err
+		}
+		v.Set(p)
+	default:
+		return fmt.Errorf("%w: unknown tag %d", ErrCorrupt, t)
+	}
+	return nil
+}
+
+func typeMismatch(want string, v reflect.Value) error {
+	return fmt.Errorf("%w: encoded %s into %s", ErrCorrupt, want, v.Type())
+}

@@ -9,15 +9,25 @@
 // protects the serialization buffer from unbounded or cyclic structures.
 // Deeper content is truncated to nil, mirroring the paper's "recursive
 // datatypes up to a maximum, though configurable, recursion depth".
+//
+// The paper's serializer is *generated ahead of time* from analyzed type
+// definitions; this package recovers that performance model with compiled
+// codec plans: the first encounter of a reflect.Type compiles a closure tree
+// that bakes in the kind switch, the exported-field index list, element
+// codecs and the byte-slice fast path, and caches it per type (see
+// plan_encode.go / plan_decode.go). Steady-state Marshal/Unmarshal therefore
+// performs no per-value type introspection, and pooled buffers plus the
+// AppendMarshal entry point let hot callers amortize allocation across
+// calls. The wire format is unchanged from the original reflect-walk codec,
+// which is retained in reflectwalk.go as the golden reference.
 package serial
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"math"
 	"reflect"
-	"sort"
+	"sync"
 )
 
 // Errors reported by the codec.
@@ -61,8 +71,18 @@ func (c Config) maxBytes() int {
 // Default is the zero-config codec used by Marshal/Unmarshal.
 var Default = Config{}
 
+// Snapshot is the shared configuration for application snapshot images
+// (mini-Redis data sets, mini-Suricata flow tables). Snapshots are flat
+// record collections, but the deeper bound leaves headroom for nested
+// attributes without touching every snapshot call site.
+var Snapshot = Config{MaxDepth: 64}
+
 // Marshal encodes v with the default configuration.
 func Marshal(v any) ([]byte, error) { return Default.Marshal(v) }
+
+// AppendMarshal appends the encoding of v to dst with the default
+// configuration and returns the extended buffer.
+func AppendMarshal(dst []byte, v any) ([]byte, error) { return Default.AppendMarshal(dst, v) }
 
 // Unmarshal decodes data into the pointer dst with the default configuration.
 func Unmarshal(data []byte, dst any) error { return Default.Unmarshal(data, dst) }
@@ -84,186 +104,88 @@ const (
 	tagTrunc // depth-truncated subtree (decodes to the zero value)
 )
 
-// Marshal encodes a value using type-aware traversal.
-func (c Config) Marshal(v any) ([]byte, error) {
-	e := &encoder{cfg: c}
-	if err := e.encode(reflect.ValueOf(v), c.maxDepth()); err != nil {
-		return nil, err
-	}
-	if len(e.buf) > c.maxBytes() {
-		return nil, fmt.Errorf("%w: %d bytes", ErrTooLarge, len(e.buf))
-	}
-	return e.buf, nil
-}
-
+// encoder carries the traversal configuration and the retained scratch
+// capacity between pooled rounds. The output buffer itself is threaded
+// through the plans (see plan_encode.go), so steady-state Marshal performs a
+// single exact-size allocation for the returned slice.
 type encoder struct {
 	cfg Config
 	buf []byte
 }
 
-func (e *encoder) tag(t byte) { e.buf = append(e.buf, t) }
-
-func (e *encoder) uvarint(u uint64) { e.buf = binary.AppendUvarint(e.buf, u) }
-
-func (e *encoder) varint(i int64) { e.buf = binary.AppendVarint(e.buf, i) }
-
-func (e *encoder) encode(v reflect.Value, depth int) error {
-	if !v.IsValid() {
-		e.tag(tagNil)
-		return nil
+// truncate handles a value at exhausted depth: an error in strict mode, a
+// one-byte truncation marker otherwise.
+func (e *encoder) truncate(buf []byte) ([]byte, error) {
+	if e.cfg.Strict {
+		return buf, ErrTooDeep
 	}
-	if depth <= 0 {
-		if e.cfg.Strict {
-			return ErrTooDeep
-		}
-		e.tag(tagTrunc)
-		return nil
-	}
-	switch v.Kind() {
-	case reflect.Bool:
-		e.tag(tagBool)
-		if v.Bool() {
-			e.buf = append(e.buf, 1)
-		} else {
-			e.buf = append(e.buf, 0)
-		}
-	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
-		e.tag(tagInt)
-		e.varint(v.Int())
-	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr:
-		e.tag(tagUint)
-		e.uvarint(v.Uint())
-	case reflect.Float32, reflect.Float64:
-		e.tag(tagFloat)
-		var b [8]byte
-		binary.BigEndian.PutUint64(b[:], math.Float64bits(v.Float()))
-		e.buf = append(e.buf, b[:]...)
-	case reflect.String:
-		e.tag(tagString)
-		s := v.String()
-		e.uvarint(uint64(len(s)))
-		e.buf = append(e.buf, s...)
-	case reflect.Slice:
-		if v.IsNil() {
-			e.tag(tagNil)
-			return nil
-		}
-		if v.Type().Elem().Kind() == reflect.Uint8 {
-			e.tag(tagBytes)
-			b := v.Bytes()
-			e.uvarint(uint64(len(b)))
-			e.buf = append(e.buf, b...)
-			return nil
-		}
-		e.tag(tagSlice)
-		e.uvarint(uint64(v.Len()))
-		for i := 0; i < v.Len(); i++ {
-			if err := e.encode(v.Index(i), depth-1); err != nil {
-				return err
-			}
-		}
-	case reflect.Array:
-		e.tag(tagArray)
-		e.uvarint(uint64(v.Len()))
-		for i := 0; i < v.Len(); i++ {
-			if err := e.encode(v.Index(i), depth-1); err != nil {
-				return err
-			}
-		}
-	case reflect.Map:
-		if v.IsNil() {
-			e.tag(tagNil)
-			return nil
-		}
-		e.tag(tagMap)
-		e.uvarint(uint64(v.Len()))
-		// Deterministic key order: encode keys, sort by encoding.
-		type kv struct{ k, val reflect.Value }
-		pairs := make([]kv, 0, v.Len())
-		iter := v.MapRange()
-		for iter.Next() {
-			pairs = append(pairs, kv{iter.Key(), iter.Value()})
-		}
-		keyEncs := make([][]byte, len(pairs))
-		for i, p := range pairs {
-			sub := &encoder{cfg: e.cfg}
-			if err := sub.encode(p.k, depth-1); err != nil {
-				return err
-			}
-			keyEncs[i] = sub.buf
-		}
-		idx := make([]int, len(pairs))
-		for i := range idx {
-			idx[i] = i
-		}
-		sort.Slice(idx, func(a, b int) bool {
-			return string(keyEncs[idx[a]]) < string(keyEncs[idx[b]])
-		})
-		for _, i := range idx {
-			e.buf = append(e.buf, keyEncs[i]...)
-			if err := e.encode(pairs[i].val, depth-1); err != nil {
-				return err
-			}
-		}
-	case reflect.Struct:
-		e.tag(tagStruct)
-		t := v.Type()
-		// Count exported fields first.
-		n := 0
-		for i := 0; i < t.NumField(); i++ {
-			if t.Field(i).IsExported() {
-				n++
-			}
-		}
-		e.uvarint(uint64(n))
-		for i := 0; i < t.NumField(); i++ {
-			if !t.Field(i).IsExported() {
-				continue
-			}
-			if err := e.encode(v.Field(i), depth-1); err != nil {
-				return err
-			}
-		}
-	case reflect.Pointer:
-		if v.IsNil() {
-			e.tag(tagNil)
-			return nil
-		}
-		e.tag(tagPtr)
-		return e.encode(v.Elem(), depth-1)
-	case reflect.Interface:
-		if v.IsNil() {
-			e.tag(tagNil)
-			return nil
-		}
-		// Interfaces are traversed through their dynamic value; decoding
-		// requires a concrete destination type.
-		return e.encode(v.Elem(), depth)
-	default:
-		return fmt.Errorf("%w: %s", ErrType, v.Kind())
-	}
-	return nil
+	return append(buf, tagTrunc), nil
 }
 
-// Unmarshal decodes into dst, which must be a non-nil pointer. The
-// destination type drives the traversal, mirroring how the generated
-// serializers in the paper are driven by the analyzed type definitions.
-func (c Config) Unmarshal(data []byte, dst any) error {
-	rv := reflect.ValueOf(dst)
-	if rv.Kind() != reflect.Pointer || rv.IsNil() {
-		return fmt.Errorf("%w: destination must be a non-nil pointer", ErrType)
+// maxPooledBuf caps the buffer capacity retained by pooled encoders so one
+// oversized value does not pin memory for the process lifetime.
+const maxPooledBuf = 1 << 20
+
+var encPool = sync.Pool{New: func() any { return new(encoder) }}
+
+func putEncoder(e *encoder) {
+	if cap(e.buf) > maxPooledBuf {
+		e.buf = nil
 	}
-	d := &decoder{buf: data}
-	if err := d.decode(rv.Elem()); err != nil {
-		return err
-	}
-	if len(d.buf) != 0 {
-		return fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(d.buf))
-	}
-	return nil
+	encPool.Put(e)
 }
 
+// encodeRoot dispatches the top-level value to its compiled plan.
+func (e *encoder) encodeRoot(buf []byte, v any, depth int) ([]byte, error) {
+	rv := reflect.ValueOf(v)
+	if !rv.IsValid() {
+		return append(buf, tagNil), nil
+	}
+	return encPlanFor(rv.Type())(e, buf, rv, depth)
+}
+
+// Marshal encodes a value using its compiled codec plan.
+func (c Config) Marshal(v any) ([]byte, error) {
+	e := encPool.Get().(*encoder)
+	e.cfg = c
+	buf, err := e.encodeRoot(e.buf[:0], v, c.maxDepth())
+	e.buf = buf // retain the grown capacity for the next round
+	if err != nil {
+		putEncoder(e)
+		return nil, err
+	}
+	if len(buf) > c.maxBytes() {
+		putEncoder(e)
+		return nil, fmt.Errorf("%w: %d bytes", ErrTooLarge, len(buf))
+	}
+	out := make([]byte, len(buf))
+	copy(out, buf)
+	putEncoder(e)
+	return out, nil
+}
+
+// AppendMarshal appends the encoding of v to dst and returns the extended
+// buffer, letting hot paths (per-request wire records, compart frames,
+// snapshot images) reuse one buffer across calls. On error dst is returned
+// unchanged. MaxBytes bounds only the appended encoding, not len(dst).
+func (c Config) AppendMarshal(dst []byte, v any) ([]byte, error) {
+	e := encPool.Get().(*encoder)
+	e.cfg = c
+	out, err := e.encodeRoot(dst, v, c.maxDepth())
+	putEncoder(e)
+	if err != nil {
+		return dst, err
+	}
+	if len(out)-len(dst) > c.maxBytes() {
+		return dst, fmt.Errorf("%w: %d bytes", ErrTooLarge, len(out)-len(dst))
+	}
+	return out, nil
+}
+
+// decoder consumes the wire encoding.
 type decoder struct{ buf []byte }
+
+var decPool = sync.Pool{New: func() any { return new(decoder) }}
 
 func (d *decoder) take(n int) ([]byte, error) {
 	if len(d.buf) < n {
@@ -300,169 +222,46 @@ func (d *decoder) varint() (int64, error) {
 	return i, nil
 }
 
-func (d *decoder) decode(v reflect.Value) error {
-	t, err := d.tag()
+// length reads a container/byte length and validates it against the
+// remaining input, charging at least minBytes of wire data per element.
+// This makes allocation proportional to the input: a short corrupt frame
+// declaring a gigabyte-scale length fails with ErrCorrupt before any
+// MakeSlice/MakeMapWithSize, and lengths beyond int range can never reach an
+// int conversion.
+func (d *decoder) length(minBytes int) (int, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if n > uint64(len(d.buf)/minBytes) {
+		return 0, fmt.Errorf("%w: length %d exceeds %d remaining bytes", ErrCorrupt, n, len(d.buf))
+	}
+	return int(n), nil
+}
+
+// Unmarshal decodes into dst, which must be a non-nil pointer. The
+// destination type drives the traversal, mirroring how the generated
+// serializers in the paper are driven by the analyzed type definitions.
+// Decoding enforces the same MaxDepth bound as encoding, so hostile inputs
+// cannot drive unbounded recursion; a valid encoding always decodes under
+// the configuration that produced it.
+func (c Config) Unmarshal(data []byte, dst any) error {
+	rv := reflect.ValueOf(dst)
+	if rv.Kind() != reflect.Pointer || rv.IsNil() {
+		return fmt.Errorf("%w: destination must be a non-nil pointer", ErrType)
+	}
+	plan := decPlanFor(rv.Type().Elem())
+	d := decPool.Get().(*decoder)
+	d.buf = data
+	err := plan(d, rv.Elem(), c.maxDepth())
+	rest := len(d.buf)
+	d.buf = nil
+	decPool.Put(d)
 	if err != nil {
 		return err
 	}
-	switch t {
-	case tagNil, tagTrunc:
-		v.Set(reflect.Zero(v.Type()))
-		return nil
-	case tagBool:
-		b, err := d.take(1)
-		if err != nil {
-			return err
-		}
-		if v.Kind() != reflect.Bool {
-			return typeMismatch("bool", v)
-		}
-		v.SetBool(b[0] == 1)
-	case tagInt:
-		i, err := d.varint()
-		if err != nil {
-			return err
-		}
-		switch v.Kind() {
-		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
-			v.SetInt(i)
-		default:
-			return typeMismatch("int", v)
-		}
-	case tagUint:
-		u, err := d.uvarint()
-		if err != nil {
-			return err
-		}
-		switch v.Kind() {
-		case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr:
-			v.SetUint(u)
-		default:
-			return typeMismatch("uint", v)
-		}
-	case tagFloat:
-		b, err := d.take(8)
-		if err != nil {
-			return err
-		}
-		switch v.Kind() {
-		case reflect.Float32, reflect.Float64:
-			v.SetFloat(math.Float64frombits(binary.BigEndian.Uint64(b)))
-		default:
-			return typeMismatch("float", v)
-		}
-	case tagString:
-		n, err := d.uvarint()
-		if err != nil {
-			return err
-		}
-		b, err := d.take(int(n))
-		if err != nil {
-			return err
-		}
-		if v.Kind() != reflect.String {
-			return typeMismatch("string", v)
-		}
-		v.SetString(string(b))
-	case tagBytes:
-		n, err := d.uvarint()
-		if err != nil {
-			return err
-		}
-		b, err := d.take(int(n))
-		if err != nil {
-			return err
-		}
-		if v.Kind() != reflect.Slice || v.Type().Elem().Kind() != reflect.Uint8 {
-			return typeMismatch("[]byte", v)
-		}
-		v.SetBytes(append([]byte(nil), b...))
-	case tagSlice:
-		n, err := d.uvarint()
-		if err != nil {
-			return err
-		}
-		if v.Kind() != reflect.Slice {
-			return typeMismatch("slice", v)
-		}
-		s := reflect.MakeSlice(v.Type(), int(n), int(n))
-		for i := 0; i < int(n); i++ {
-			if err := d.decode(s.Index(i)); err != nil {
-				return err
-			}
-		}
-		v.Set(s)
-	case tagArray:
-		n, err := d.uvarint()
-		if err != nil {
-			return err
-		}
-		if v.Kind() != reflect.Array || v.Len() != int(n) {
-			return typeMismatch("array", v)
-		}
-		for i := 0; i < int(n); i++ {
-			if err := d.decode(v.Index(i)); err != nil {
-				return err
-			}
-		}
-	case tagMap:
-		n, err := d.uvarint()
-		if err != nil {
-			return err
-		}
-		if v.Kind() != reflect.Map {
-			return typeMismatch("map", v)
-		}
-		m := reflect.MakeMapWithSize(v.Type(), int(n))
-		for i := 0; i < int(n); i++ {
-			k := reflect.New(v.Type().Key()).Elem()
-			if err := d.decode(k); err != nil {
-				return err
-			}
-			val := reflect.New(v.Type().Elem()).Elem()
-			if err := d.decode(val); err != nil {
-				return err
-			}
-			m.SetMapIndex(k, val)
-		}
-		v.Set(m)
-	case tagStruct:
-		n, err := d.uvarint()
-		if err != nil {
-			return err
-		}
-		if v.Kind() != reflect.Struct {
-			return typeMismatch("struct", v)
-		}
-		rt := v.Type()
-		decoded := 0
-		for i := 0; i < rt.NumField() && decoded < int(n); i++ {
-			if !rt.Field(i).IsExported() {
-				continue
-			}
-			if err := d.decode(v.Field(i)); err != nil {
-				return err
-			}
-			decoded++
-		}
-		if decoded != int(n) {
-			return fmt.Errorf("%w: struct field count mismatch (%d encoded, %d decoded)", ErrCorrupt, n, decoded)
-		}
-	case tagPtr:
-		if v.Kind() != reflect.Pointer {
-			return typeMismatch("pointer", v)
-		}
-		p := reflect.New(v.Type().Elem())
-		if err := d.decode(p.Elem()); err != nil {
-			return err
-		}
-		v.Set(p)
-	default:
-		return fmt.Errorf("%w: unknown tag %d", ErrCorrupt, t)
+	if rest != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, rest)
 	}
 	return nil
-}
-
-func typeMismatch(want string, v reflect.Value) error {
-	return fmt.Errorf("%w: encoded %s into %s", ErrCorrupt, want, v.Type())
 }
