@@ -1,7 +1,8 @@
 // Command csawc is the C-Saw architecture tool: it validates the built-in
 // catalogue of architecture descriptions (the patterns of §5 and §7),
-// extracts their communication topology (§8.7) and renders their
-// event-structure semantics (§8) as Graphviz DOT.
+// extracts their communication topology (§8.7), renders their
+// event-structure semantics (§8) as Graphviz DOT, and vets them with the
+// static-analysis pass suite (internal/analysis).
 //
 // Usage:
 //
@@ -9,72 +10,26 @@
 //	csawc -arch failover -topo        # topology DOT on stdout
 //	csawc -arch snapshot -events      # event-structure DOT on stdout
 //	csawc -arch sharding              # validate and summarize
+//	csawc -arch failover -vet         # run the analyzer on one architecture
+//	csawc -vet-all                    # vet the whole catalogue
+//	csawc -vet-all -json              # ... as a JSON report
+//
+// -vet and -vet-all exit non-zero when any error-severity diagnostic
+// survives the catalogue's recorded suppressions, so they can gate CI.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"sort"
-	"time"
 
+	"csaw/internal/analysis"
 	"csaw/internal/dsl"
 	"csaw/internal/events"
 	"csaw/internal/patterns"
 )
-
-// catalogue builds each architecture with inert host hooks: the tool
-// analyzes structure, not behaviour.
-func catalogue() map[string]func() *dsl.Program {
-	nopSrc := func(dsl.HostCtx) ([]byte, error) { return []byte{}, nil }
-	nopSink := func(dsl.HostCtx, []byte) error { return nil }
-	nopHandle := func(_ dsl.HostCtx, b []byte) ([]byte, error) { return b, nil }
-	t := time.Second
-
-	return map[string]func() *dsl.Program{
-		"snapshot": func() *dsl.Program {
-			return patterns.Snapshot(patterns.SnapshotConfig{Timeout: t, Capture: nopSrc, Apply: nopSink})
-		},
-		"sharding": func() *dsl.Program {
-			return patterns.Sharding(patterns.ShardingConfig{
-				N: 4, Timeout: t,
-				Choose:         func(dsl.HostCtx) (int, error) { return 0, nil },
-				CaptureRequest: nopSrc, HandleRequest: nopHandle, DeliverResponse: nopSink,
-			})
-		},
-		"parallel-sharding": func() *dsl.Program {
-			return patterns.ParallelSharding(patterns.ParallelShardingConfig{
-				N: 3, Timeout: t,
-				ChooseSet:      func(dsl.HostCtx) ([]int, error) { return []int{0, 1, 2}, nil },
-				CaptureRequest: nopSrc, HandleRequest: nopHandle,
-			})
-		},
-		"caching": func() *dsl.Program {
-			return patterns.Caching(patterns.CachingConfig{
-				Timeout:        t,
-				CheckCacheable: func(dsl.HostCtx) (bool, error) { return true, nil },
-				LookupCache:    func(dsl.HostCtx) (bool, error) { return false, nil },
-				CaptureRequest: nopSrc, DeliverResponse: nopSink,
-				UpdateCache: func(dsl.HostCtx) error { return nil },
-				ComputeF:    nopHandle,
-			})
-		},
-		"failover": func() *dsl.Program {
-			return patterns.Failover(patterns.FailoverConfig{
-				N: 2, Timeout: t,
-				InitialState: nopSrc, PrepareRequest: nopSrc,
-				ApplyStateAtFront: nopSink, ApplyStateAtBack: nopSink,
-				HandleRequest: nopHandle, DeliverResponse: nopSink, CaptureState: nopSrc,
-			})
-		},
-		"watched-failover": func() *dsl.Program {
-			return patterns.WatchedFailover(patterns.WatchedFailoverConfig{
-				Timeout:        t,
-				PrepareRequest: nopSrc, HandleRequest: nopHandle, DeliverResponse: nopSink,
-			})
-		},
-	}
-}
 
 func main() {
 	var (
@@ -82,28 +37,37 @@ func main() {
 		arch      = flag.String("arch", "", "architecture to analyze")
 		topo      = flag.Bool("topo", false, "print topology (Graphviz DOT)")
 		eventsOut = flag.Bool("events", false, "print event-structure semantics (Graphviz DOT)")
+		vet       = flag.Bool("vet", false, "run the static-analysis pass suite on -arch")
+		vetAll    = flag.Bool("vet-all", false, "run the static-analysis pass suite on every catalogue architecture")
+		jsonOut   = flag.Bool("json", false, "with -vet/-vet-all: emit the report as JSON")
 	)
 	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "csawc: unexpected argument %q (architectures are selected with -arch)\n", flag.Arg(0))
+		os.Exit(2)
+	}
 
-	cat := catalogue()
+	if *vetAll {
+		os.Exit(vetArchitectures(os.Stdout, patterns.Catalogue(), *jsonOut))
+	}
+
 	if *list || *arch == "" {
-		names := make([]string, 0, len(cat))
-		for n := range cat {
-			names = append(names, n)
-		}
-		sort.Strings(names)
-		for _, n := range names {
-			fmt.Println(n)
+		for _, e := range patterns.Catalogue() {
+			fmt.Printf("%-18s %s\n", e.Name, e.Doc)
 		}
 		return
 	}
 
-	build, ok := cat[*arch]
+	entry, ok := patterns.CatalogueEntryByName(*arch)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "csawc: unknown architecture %q (see -list)\n", *arch)
 		os.Exit(1)
 	}
-	p := build()
+	if *vet {
+		os.Exit(vetArchitectures(os.Stdout, []patterns.CatalogueEntry{entry}, *jsonOut))
+	}
+
+	p := entry.Build()
 	if err := dsl.Validate(p); err != nil {
 		fmt.Fprintf(os.Stderr, "csawc: %s does not validate:\n%v\n", *arch, err)
 		os.Exit(1)
@@ -132,4 +96,61 @@ func main() {
 		}
 		fmt.Printf("  event structure: %d events (axioms hold)\n", s.Len())
 	}
+}
+
+// archReport is one architecture's entry in the JSON vet report.
+type archReport struct {
+	Arch        string                          `json:"arch"`
+	Error       string                          `json:"error,omitempty"`
+	Diagnostics []analysis.Diagnostic           `json:"diagnostics"`
+	Suppressed  []analysis.SuppressedDiagnostic `json:"suppressed,omitempty"`
+}
+
+// vetArchitectures runs the full pass suite over each entry (honouring its
+// recorded suppressions) and returns the process exit code: 1 if any
+// architecture fails to validate or carries an unsuppressed error-severity
+// diagnostic, 0 otherwise.
+func vetArchitectures(w io.Writer, entries []patterns.CatalogueEntry, asJSON bool) int {
+	code := 0
+	reports := make([]archReport, 0, len(entries))
+	for _, e := range entries {
+		ar := archReport{Arch: e.Name, Diagnostics: []analysis.Diagnostic{}}
+		rep, err := analysis.Analyze(e.Build(), &analysis.Config{Suppress: e.Suppressions})
+		if err != nil {
+			ar.Error = err.Error()
+			code = 1
+		} else {
+			ar.Diagnostics = append(ar.Diagnostics, rep.Diagnostics...)
+			ar.Suppressed = rep.Suppressed
+			if rep.Errors() > 0 {
+				code = 1
+			}
+		}
+		reports = append(reports, ar)
+	}
+
+	if asJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reports); err != nil {
+			fmt.Fprintf(os.Stderr, "csawc: %v\n", err)
+			return 1
+		}
+		return code
+	}
+
+	for _, ar := range reports {
+		switch {
+		case ar.Error != "":
+			fmt.Fprintf(w, "%s: INVALID\n%s\n", ar.Arch, ar.Error)
+		case len(ar.Diagnostics) == 0:
+			fmt.Fprintf(w, "%s: clean (%d finding(s) suppressed)\n", ar.Arch, len(ar.Suppressed))
+		default:
+			fmt.Fprintf(w, "%s: %d finding(s), %d suppressed\n", ar.Arch, len(ar.Diagnostics), len(ar.Suppressed))
+			for _, d := range ar.Diagnostics {
+				fmt.Fprintf(w, "  %s\n", d.String())
+			}
+		}
+	}
+	return code
 }

@@ -1,0 +1,36 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"csaw/internal/analysis"
+	"csaw/internal/patterns"
+)
+
+// BenchmarkVetCatalogue measures the full pass suite over every catalogue
+// architecture — the `csawc -vet-all` hot path, dominated by the §8
+// denotations parconflict requests for junctions with Par candidates.
+func BenchmarkVetCatalogue(b *testing.B) {
+	entries := patterns.Catalogue()
+	for i := 0; i < b.N; i++ {
+		for _, e := range entries {
+			rep, err := analysis.Analyze(e.Build(), &analysis.Config{Suppress: e.Suppressions})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rep.Errors() > 0 {
+				b.Fatalf("%s: %d errors", e.Name, rep.Errors())
+			}
+		}
+	}
+}
+
+// BenchmarkVetFailover isolates the largest single architecture.
+func BenchmarkVetFailover(b *testing.B) {
+	e, _ := patterns.CatalogueEntryByName("failover")
+	for i := 0; i < b.N; i++ {
+		if _, err := analysis.Analyze(e.Build(), nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"csaw/internal/dsl"
+	"csaw/internal/formula"
+)
+
+// Divergence flags constructs that can block or spin forever:
+//
+//   - a wait with no enclosing otherwise[t] deadline may block the junction
+//     indefinitely (an error when its condition is statically false — the
+//     timed form of that wait is the catalogue's sleep idiom, the untimed
+//     form never completes);
+//   - a case in which two or more reconsider-terminated arms can bounce
+//     control between one another while none of their bodies writes any
+//     proposition the arm conditions read — the runtime's ReconsiderLimit is
+//     the only thing bounding the ping-pong (a single reconsider arm is
+//     bounded by the semantics: re-matching the same arm fails);
+//   - a driver-scheduled guarded junction whose body never falsifies its
+//     guard and never blocks: the driver re-schedules it in a hot loop.
+var Divergence = &Pass{
+	Name: "divergence",
+	Doc:  "waits without deadlines, reconsider ping-pong without progress, guarded busy loops",
+	Run:  runDivergence,
+}
+
+func runDivergence(c *Context) []Diagnostic {
+	var out []Diagnostic
+	emit := func(sev Severity, pos, format string, args ...any) {
+		out = append(out, Diagnostic{Severity: sev, Pos: pos, Msg: fmt.Sprintf(format, args...)})
+	}
+	for _, tj := range c.TypeJuncs {
+		ji := tj.Rep
+		walkPath(tj.FQ(), tj.Def.Body, func(nc NodeCtx, e dsl.Expr) {
+			switch n := e.(type) {
+			case dsl.Wait:
+				if nc.DeadlineDepth > 0 {
+					return
+				}
+				if staticallyFalse(n.Cond) {
+					emit(SevError, nc.Path, "wait on statically false condition %s with no enclosing otherwise[t] deadline: it never completes", n.Cond)
+				} else {
+					emit(SevWarning, nc.Path, "wait has no enclosing otherwise[t] deadline and may block the junction forever")
+				}
+			case dsl.Case:
+				checkReconsiderPingPong(ji, nc.Path, n, emit)
+			}
+		})
+		checkBusyLoop(ji, tj.FQ(), emit)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos != out[j].Pos {
+			return out[i].Pos < out[j].Pos
+		}
+		return out[i].Msg < out[j].Msg
+	})
+	return out
+}
+
+// checkReconsiderPingPong flags cases where ≥2 reconsider arms could
+// alternate forever: none of the reconsider arms' bodies writes a
+// proposition any arm condition reads, so nothing the case does can change
+// which arm matches next.
+func checkReconsiderPingPong(ji *JunctionInfo, pos string, n dsl.Case, emit func(Severity, string, string, ...any)) {
+	var reconsiderArms []int
+	for i, a := range n.Arms {
+		if a.Term == dsl.TermReconsider {
+			reconsiderArms = append(reconsiderArms, i)
+		}
+	}
+	if len(reconsiderArms) < 2 {
+		return
+	}
+	condProps := map[string]bool{}
+	for _, a := range n.Arms {
+		for _, p := range armCondProps(ji, a.Cond) {
+			condProps[p] = true
+		}
+	}
+	for _, i := range reconsiderArms {
+		for _, p := range localPropWrites(ji, n.Arms[i].Body) {
+			if condProps[p] {
+				return // some reconsider arm makes progress
+			}
+		}
+	}
+	emit(SevWarning, pos,
+		"%d reconsider-terminated arms and none of them writes a proposition the arm conditions read: the case can ping-pong until ReconsiderLimit aborts it",
+		len(reconsiderArms))
+}
+
+// armCondProps returns the resolved local proposition names a condition
+// reads (remote and @-props excluded: the case cannot falsify them anyway,
+// but they can change underneath it, which counts as external progress).
+func armCondProps(ji *JunctionInfo, f formula.Formula) []string {
+	var out []string
+	for _, pr := range formula.Props(f) {
+		if pr.Junction != "" || strings.HasPrefix(pr.Name, "@") {
+			continue
+		}
+		name := resolveSelf(ji, pr.Name)
+		if base, idxVar, ok := dsl.SplitIdxProp(name); ok {
+			if setName, declared := ji.decls.idxs[idxVar]; declared {
+				elems, _ := ji.decls.setElems(setName)
+				for _, e := range elems {
+					out = append(out, dsl.IndexedName(base, e))
+				}
+			}
+			continue
+		}
+		out = append(out, name)
+	}
+	return out
+}
+
+// localPropWrites returns every local proposition key a body may write —
+// its own asserts/retracts (including the local half of remote updates),
+// host write-sets, and restore write-sets.
+func localPropWrites(ji *JunctionInfo, body []dsl.Expr) []string {
+	var out []string
+	addNames := func(names []string) {
+		for _, w := range names {
+			name := resolveSelf(ji, w)
+			if ji.decls.props[name] {
+				out = append(out, name)
+			}
+		}
+	}
+	walkPath("", body, func(_ NodeCtx, e dsl.Expr) {
+		switch n := e.(type) {
+		case dsl.Assert:
+			keys, _ := ji.propKeys(n.Prop)
+			out = append(out, keys...)
+		case dsl.Retract:
+			keys, _ := ji.propKeys(n.Prop)
+			out = append(out, keys...)
+		case dsl.Host:
+			addNames(n.Writes)
+		case dsl.Restore:
+			addNames(n.Writes)
+		}
+	})
+	return out
+}
+
+// checkBusyLoop flags a driver-scheduled guarded junction whose guard only
+// reads local propositions, whose body never writes any of them, and whose
+// body contains no wait: once the guard is true the driver re-runs the body
+// in a hot loop with nothing to stop it.
+func checkBusyLoop(ji *JunctionInfo, pos string, emit func(Severity, string, string, ...any)) {
+	def := ji.Def
+	if def.Guard == nil || def.Manual || staticallyFalse(def.Guard) {
+		return // never scheduled at all: reachability's department
+	}
+	for _, pr := range formula.Props(def.Guard) {
+		if pr.Junction != "" || strings.HasPrefix(pr.Name, "@") {
+			return // external state can pace the loop
+		}
+	}
+	hasWait := false
+	dsl.WalkBody(def.Body, func(e dsl.Expr) {
+		if _, ok := e.(dsl.Wait); ok {
+			hasWait = true
+		}
+	})
+	if hasWait {
+		return // the wait paces (or blocks) the loop
+	}
+	resolved := armCondProps(ji, def.Guard)
+	writes := map[string]bool{}
+	for _, w := range localPropWrites(ji, def.Body) {
+		writes[w] = true
+	}
+	for _, p := range resolved {
+		if writes[p] {
+			return // the body can falsify its own guard
+		}
+	}
+	emit(SevWarning, pos+"/guard",
+		"guard reads only local propositions the body never writes, and the body never waits: the driver will re-schedule this junction in a busy loop")
+}

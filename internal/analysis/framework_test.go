@@ -1,0 +1,142 @@
+package analysis_test
+
+import (
+	"encoding/json"
+	"reflect"
+	"sort"
+	"testing"
+
+	"csaw/internal/analysis"
+	"csaw/internal/dsl"
+	"csaw/internal/formula"
+)
+
+func TestSeverityJSONRoundTrip(t *testing.T) {
+	for _, sev := range []analysis.Severity{analysis.SevInfo, analysis.SevWarning, analysis.SevError} {
+		b, err := json.Marshal(sev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back analysis.Severity
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back != sev {
+			t.Fatalf("%s round-tripped to %s", sev, back)
+		}
+	}
+	var s analysis.Severity
+	if err := json.Unmarshal([]byte(`"fatal"`), &s); err == nil {
+		t.Fatal("unknown severity keyword accepted")
+	}
+}
+
+func TestDiagnosticJSONShape(t *testing.T) {
+	d := analysis.Diagnostic{Pass: "kvlifecycle", Severity: analysis.SevError, Pos: "a::j/decls", Msg: "boom"}
+	b, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"pass":"kvlifecycle","severity":"error","pos":"a::j/decls","msg":"boom"}`
+	if string(b) != want {
+		t.Fatalf("got %s, want %s", b, want)
+	}
+}
+
+// seededProgram carries one finding per several passes, for framework-level
+// tests.
+func seededProgram() *dsl.Program {
+	p := dsl.NewProgram()
+	p.Type("tau").Junction("j", dsl.Def(
+		dsl.Decls(
+			dsl.InitProp{Name: "Go", Init: true},
+			dsl.InitProp{Name: "Unused", Init: false},
+		),
+		dsl.Wait{Cond: formula.P("Go")},
+		dsl.Retract{Prop: dsl.PR("Go")},
+	).Guarded(formula.P("Go")))
+	p.Instance("a", "tau")
+	p.SetMain(dsl.Start{Instance: "a"})
+	return p
+}
+
+func TestAnalyzeRejectsInvalidPrograms(t *testing.T) {
+	p := dsl.NewProgram()
+	p.Type("tau").Junction("j", dsl.Def(nil, dsl.Skip{}).Guarded(formula.P("Undeclared")))
+	p.Instance("a", "tau")
+	p.SetMain(dsl.Start{Instance: "a"})
+	if _, err := analysis.Analyze(p, nil); err == nil {
+		t.Fatal("Analyze accepted a program whose guard reads undeclared state")
+	}
+}
+
+func TestAnalyzeOutputSortedAndStamped(t *testing.T) {
+	rep, err := analysis.Analyze(seededProgram(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Diagnostics) < 2 {
+		t.Fatalf("expected at least 2 findings, got:\n%s", diagDump(rep.Diagnostics))
+	}
+	for _, d := range rep.Diagnostics {
+		if d.Pass == "" {
+			t.Fatalf("diagnostic without pass stamp: %s", d)
+		}
+	}
+	sorted := sort.SliceIsSorted(rep.Diagnostics, func(i, j int) bool {
+		a, b := rep.Diagnostics[i], rep.Diagnostics[j]
+		if a.Pos != b.Pos {
+			return a.Pos < b.Pos
+		}
+		return a.Pass <= b.Pass
+	})
+	if !sorted {
+		t.Fatalf("diagnostics not sorted by (pos, pass):\n%s", diagDump(rep.Diagnostics))
+	}
+}
+
+func TestSuppressionMutesWithReason(t *testing.T) {
+	p := seededProgram()
+	base, err := analysis.Analyze(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup := analysis.Suppression{Pass: "kvlifecycle", Match: `"Unused"`, Reason: "intentional fixture"}
+	rep, err := analysis.Analyze(p, &analysis.Config{Suppress: []analysis.Suppression{sup}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Suppressed) != 1 || rep.Suppressed[0].Reason != "intentional fixture" {
+		t.Fatalf("suppressed = %+v", rep.Suppressed)
+	}
+	if len(rep.Diagnostics) != len(base.Diagnostics)-1 {
+		t.Fatalf("suppression removed %d finding(s), want exactly 1", len(base.Diagnostics)-len(rep.Diagnostics))
+	}
+	for _, d := range rep.Diagnostics {
+		if d.Pass == "kvlifecycle" && d.Msg == rep.Suppressed[0].Msg {
+			t.Fatalf("suppressed finding still reported: %s", d)
+		}
+	}
+	// An empty Match must not suppress everything.
+	rep2, err := analysis.Analyze(p, &analysis.Config{Suppress: []analysis.Suppression{{Pass: "kvlifecycle"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep2.Suppressed) != 0 {
+		t.Fatalf("empty Match suppressed %d finding(s)", len(rep2.Suppressed))
+	}
+}
+
+func TestAnalyzeDeterministic(t *testing.T) {
+	a, err := analysis.Analyze(seededProgram(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := analysis.Analyze(seededProgram(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("two runs differ:\n%s\nvs\n%s", diagDump(a.Diagnostics), diagDump(b.Diagnostics))
+	}
+}

@@ -1,0 +1,308 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"csaw/internal/analysis"
+	"csaw/internal/dsl"
+	"csaw/internal/formula"
+)
+
+func nopSrc(dsl.HostCtx) ([]byte, error) { return []byte{}, nil }
+
+func nopSink(dsl.HostCtx, []byte) error { return nil }
+
+// runPass analyzes p with a single pass and returns the surviving findings.
+func runPass(t *testing.T, p *dsl.Program, pass *analysis.Pass) []analysis.Diagnostic {
+	t.Helper()
+	rep, err := analysis.Analyze(p, &analysis.Config{Passes: []*analysis.Pass{pass}})
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	return rep.Diagnostics
+}
+
+// wantDiag asserts that some finding has the given severity and message
+// substring.
+func wantDiag(t *testing.T, ds []analysis.Diagnostic, sev analysis.Severity, substr string) {
+	t.Helper()
+	for _, d := range ds {
+		if d.Severity == sev && strings.Contains(d.Msg, substr) {
+			return
+		}
+	}
+	t.Fatalf("no %s diagnostic containing %q in:\n%s", sev, substr, diagDump(ds))
+}
+
+func wantClean(t *testing.T, ds []analysis.Diagnostic) {
+	t.Helper()
+	if len(ds) != 0 {
+		t.Fatalf("expected no findings, got:\n%s", diagDump(ds))
+	}
+}
+
+func diagDump(ds []analysis.Diagnostic) string {
+	var b strings.Builder
+	for _, d := range ds {
+		b.WriteString("  " + d.String() + "\n")
+	}
+	if b.Len() == 0 {
+		return "  (none)"
+	}
+	return b.String()
+}
+
+// --- kvlifecycle -----------------------------------------------------------
+
+func TestKVLifecycleSeeded(t *testing.T) {
+	p := dsl.NewProgram()
+	p.Type("tau").Junction("j", dsl.Def(
+		dsl.Decls(
+			dsl.InitProp{Name: "Go", Init: true},
+			dsl.InitProp{Name: "Unused", Init: false},
+			dsl.InitData{Name: "never"},
+			dsl.InitData{Name: "sink"},
+		),
+		dsl.Restore{Data: "never", Into: nopSink},
+		dsl.Save{Data: "sink", From: nopSrc},
+		dsl.Retract{Prop: dsl.PR("Go")},
+	).Guarded(formula.P("Go")))
+	p.Instance("a", "tau")
+	p.SetMain(dsl.Start{Instance: "a"})
+
+	ds := runPass(t, p, analysis.KVLifecycle)
+	wantDiag(t, ds, analysis.SevWarning, `proposition "Unused" is declared but never read or written`)
+	wantDiag(t, ds, analysis.SevError, `it stays undef and restore/write will always fail`)
+	wantDiag(t, ds, analysis.SevWarning, `data "sink" is written but never read`)
+}
+
+func TestKVLifecycleClean(t *testing.T) {
+	p := dsl.NewProgram()
+	p.Type("tau").Junction("j", dsl.Def(
+		dsl.Decls(
+			dsl.InitProp{Name: "Go", Init: true},
+			dsl.InitData{Name: "d"},
+		),
+		dsl.Save{Data: "d", From: nopSrc},
+		dsl.Restore{Data: "d", Into: nopSink},
+		dsl.Retract{Prop: dsl.PR("Go")},
+	).Guarded(formula.P("Go")))
+	p.Instance("a", "tau")
+	p.SetMain(dsl.Start{Instance: "a"})
+
+	wantClean(t, runPass(t, p, analysis.KVLifecycle))
+}
+
+// --- parconflict -----------------------------------------------------------
+
+// parProgram builds a single started junction whose body is the given
+// expressions, with propositions P and Q declared and consumed.
+func parProgram(body ...dsl.Expr) *dsl.Program {
+	p := dsl.NewProgram()
+	decls := dsl.Decls(
+		dsl.InitProp{Name: "Go", Init: true},
+		dsl.InitProp{Name: "P", Init: false},
+		dsl.InitProp{Name: "Q", Init: false},
+	)
+	full := []dsl.Expr{dsl.Retract{Prop: dsl.PR("Go")}}
+	full = append(full, body...)
+	// Consume P and Q so kvlifecycle-style redundancy does not distract.
+	full = append(full, dsl.Verify{Cond: formula.Or(formula.P("P"), formula.P("Q"))})
+	p.Type("tau").Junction("j", dsl.Def(decls, full...).Guarded(formula.P("Go")))
+	p.Instance("a", "tau")
+	p.SetMain(dsl.Start{Instance: "a"})
+	return p
+}
+
+func TestParConflictSeeded(t *testing.T) {
+	// Branch 0 asserts P (tt), branch 1 retracts P (ff): an unordered
+	// conflicting write pair that the event structure confirms concurrent.
+	p := parProgram(dsl.Par{
+		dsl.Assert{Prop: dsl.PR("P")},
+		dsl.Retract{Prop: dsl.PR("P")},
+	})
+	ds := runPass(t, p, analysis.ParConflict)
+	wantDiag(t, ds, analysis.SevError, "confirmed concurrent in the event structure")
+}
+
+func TestParConflictSeededParN(t *testing.T) {
+	// A host write inside a replicated body conflicts with its own copies.
+	p := parProgram(dsl.ParN{N: 3, Body: []dsl.Expr{
+		dsl.Host{Label: "mark", Writes: []string{"P"}, Fn: func(dsl.HostCtx) error { return nil }},
+	}})
+	ds := runPass(t, p, analysis.ParConflict)
+	wantDiag(t, ds, analysis.SevError, "confirmed concurrent in the event structure")
+}
+
+func TestParConflictClean(t *testing.T) {
+	// Distinct keys across branches: no candidate at all.
+	p := parProgram(dsl.Par{
+		dsl.Assert{Prop: dsl.PR("P")},
+		dsl.Assert{Prop: dsl.PR("Q")},
+	})
+	wantClean(t, runPass(t, p, analysis.ParConflict))
+}
+
+func TestParConflictSameValueIsBenign(t *testing.T) {
+	// Both branches assert P: idempotent on the convergent table (the
+	// parallel-sharding HaveAtLeastOne idiom), not a race.
+	p := parProgram(dsl.Par{
+		dsl.Assert{Prop: dsl.PR("P")},
+		dsl.Assert{Prop: dsl.PR("P")},
+	})
+	wantClean(t, runPass(t, p, analysis.ParConflict))
+}
+
+// --- reachability ----------------------------------------------------------
+
+func TestReachabilitySeeded(t *testing.T) {
+	p := dsl.NewProgram()
+	// Entry junction with a statically false case arm.
+	p.Type("tauA").Junction("j", dsl.Def(
+		dsl.Decls(dsl.InitProp{Name: "X", Init: false}),
+		dsl.Case{
+			Arms: []dsl.CaseArm{
+				dsl.Arm(formula.And(formula.P("X"), formula.Not(formula.P("X"))), dsl.TermBreak, dsl.Skip{}),
+			},
+			Otherwise: []dsl.Expr{dsl.Skip{}},
+		},
+	))
+	// Guarded on never-written local state: unreachable.
+	p.Type("tauB").Junction("j", dsl.Def(
+		dsl.Decls(dsl.InitProp{Name: "Wake", Init: false}),
+		dsl.Retract{Prop: dsl.PR("Wake")},
+	).Guarded(formula.P("Wake")))
+	p.Instance("a", "tauA")
+	p.Instance("b", "tauB")
+	p.Instance("idle", "tauB") // declared, never started
+	p.SetMain(dsl.Par{dsl.Start{Instance: "a"}, dsl.Start{Instance: "b"}})
+
+	ds := runPass(t, p, analysis.Reachability)
+	wantDiag(t, ds, analysis.SevError, "junction is unreachable")
+	wantDiag(t, ds, analysis.SevError, "statically false")
+	wantDiag(t, ds, analysis.SevWarning, `instance "idle" is declared but never started`)
+}
+
+func TestReachabilityClean(t *testing.T) {
+	p := dsl.NewProgram()
+	// a::j is an entry (unguarded) and wakes b::j by asserting its guard
+	// proposition, so both junctions are reachable.
+	p.Type("tauA").Junction("j", dsl.Def(
+		nil,
+		dsl.Assert{Target: dsl.J("b", "j"), Prop: dsl.PR("Wake")},
+	))
+	p.Type("tauB").Junction("j", dsl.Def(
+		dsl.Decls(dsl.InitProp{Name: "Wake", Init: false}),
+		dsl.Retract{Prop: dsl.PR("Wake")},
+	).Guarded(formula.P("Wake")))
+	p.Instance("a", "tauA")
+	p.Instance("b", "tauB")
+	p.SetMain(dsl.Par{dsl.Start{Instance: "a"}, dsl.Start{Instance: "b"}})
+
+	wantClean(t, runPass(t, p, analysis.Reachability))
+}
+
+// --- divergence ------------------------------------------------------------
+
+func TestDivergenceSeeded(t *testing.T) {
+	p := dsl.NewProgram()
+	// An undeadlined wait, plus one whose condition is statically false.
+	p.Type("tauA").Junction("j", dsl.Def(
+		dsl.Decls(dsl.InitProp{Name: "Ready", Init: false}),
+		dsl.Wait{Cond: formula.P("Ready")},
+		dsl.Wait{Cond: formula.And(formula.P("Ready"), formula.Not(formula.P("Ready")))},
+	))
+	// Guard the body never falsifies, no wait: driver busy loop.
+	p.Type("tauB").Junction("j", dsl.Def(
+		dsl.Decls(dsl.InitProp{Name: "Hot", Init: true}),
+		dsl.Skip{},
+	).Guarded(formula.P("Hot")))
+	p.Instance("a", "tauA")
+	p.Instance("b", "tauB")
+	p.SetMain(dsl.Par{dsl.Start{Instance: "a"}, dsl.Start{Instance: "b"}})
+
+	ds := runPass(t, p, analysis.Divergence)
+	wantDiag(t, ds, analysis.SevWarning, "may block the junction forever")
+	wantDiag(t, ds, analysis.SevError, "it never completes")
+	wantDiag(t, ds, analysis.SevWarning, "busy loop")
+}
+
+func TestDivergenceReconsiderPingPong(t *testing.T) {
+	p := dsl.NewProgram()
+	p.Type("tau").Junction("j", dsl.Def(
+		dsl.Decls(
+			dsl.InitProp{Name: "A", Init: true},
+			dsl.InitProp{Name: "B", Init: false},
+		),
+		dsl.Case{
+			Arms: []dsl.CaseArm{
+				dsl.Arm(formula.P("A"), dsl.TermReconsider, dsl.Skip{}),
+				dsl.Arm(formula.P("B"), dsl.TermReconsider, dsl.Skip{}),
+			},
+			Otherwise: []dsl.Expr{dsl.Skip{}},
+		},
+		dsl.Retract{Prop: dsl.PR("A")},
+	))
+	p.Instance("a", "tau")
+	p.SetMain(dsl.Start{Instance: "a"})
+
+	ds := runPass(t, p, analysis.Divergence)
+	wantDiag(t, ds, analysis.SevWarning, "ping-pong")
+}
+
+func TestDivergenceClean(t *testing.T) {
+	p := dsl.NewProgram()
+	p.Type("tau").Junction("j", dsl.Def(
+		dsl.Decls(
+			dsl.InitProp{Name: "Go", Init: true},
+			dsl.InitProp{Name: "Ready", Init: false},
+		),
+		// Deadlined wait (the catalogue's sleep idiom) and a body that
+		// falsifies its own guard.
+		dsl.OtherwiseT(dsl.Wait{Cond: formula.P("Ready")}, time.Second, dsl.Skip{}),
+		dsl.Retract{Prop: dsl.PR("Go")},
+	).Guarded(formula.P("Go")))
+	p.Instance("a", "tau")
+	p.SetMain(dsl.Start{Instance: "a"})
+
+	wantClean(t, runPass(t, p, analysis.Divergence))
+}
+
+// --- scopecheck ------------------------------------------------------------
+
+func TestScopeCheckSeeded(t *testing.T) {
+	p := dsl.NewProgram()
+	p.Type("tau").Junction("j", dsl.Def(
+		dsl.Decls(dsl.InitProp{Name: "P", Init: true}),
+		dsl.Txn{Body: []dsl.Expr{
+			dsl.Retract{Prop: dsl.PR("P")},
+			dsl.Retry{},
+		}},
+		dsl.ParN{N: 1, Body: []dsl.Expr{dsl.Skip{}}},
+		dsl.ParN{N: 2, Body: []dsl.Expr{dsl.Start{Instance: "b"}}},
+	).Guarded(formula.P("P")))
+	p.Type("tauIdle").Junction("j", dsl.Def(nil, dsl.Skip{}).ManuallyScheduled())
+	p.Instance("a", "tau")
+	p.Instance("b", "tauIdle")
+	p.SetMain(dsl.Start{Instance: "a"})
+
+	ds := runPass(t, p, analysis.ScopeCheck)
+	wantDiag(t, ds, analysis.SevError, "retry signal escapes")
+	wantDiag(t, ds, analysis.SevInfo, "replicates nothing")
+	wantDiag(t, ds, analysis.SevError, "every replica starts the same instance")
+}
+
+func TestScopeCheckClean(t *testing.T) {
+	p := dsl.NewProgram()
+	p.Type("tau").Junction("j", dsl.Def(
+		dsl.Decls(dsl.InitProp{Name: "P", Init: true}),
+		dsl.Txn{Body: []dsl.Expr{dsl.Retract{Prop: dsl.PR("P")}}},
+		dsl.Par{dsl.Skip{}, dsl.Skip{}},
+	).Guarded(formula.P("P")))
+	p.Instance("a", "tau")
+	p.SetMain(dsl.Start{Instance: "a"})
+
+	wantClean(t, runPass(t, p, analysis.ScopeCheck))
+}

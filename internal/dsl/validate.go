@@ -19,67 +19,24 @@ func PropIdx(base, idxVar string) formula.Prop {
 }
 
 // SplitIdxProp decomposes a proposition name produced by PropIdx. ok is
-// false for ordinary names.
+// false for ordinary names. Only the last "[$...]" group is treated as the
+// runtime-substituted index, so a base that itself contains brackets (e.g. a
+// concrete indexed family "A[x]") survives intact; an empty base, an empty
+// idx variable, or an idx variable containing bracket/'$' characters is
+// rejected rather than mis-split.
 func SplitIdxProp(name string) (base, idxVar string, ok bool) {
-	i := strings.Index(name, "[$")
-	if i < 0 || !strings.HasSuffix(name, "]") {
+	if !strings.HasSuffix(name, "]") {
 		return "", "", false
 	}
-	return name[:i], name[i+2 : len(name)-1], true
-}
-
-// Walk visits e and every sub-expression in evaluation order.
-func Walk(e Expr, visit func(Expr)) {
-	if e == nil {
-		return
+	i := strings.LastIndex(name, "[$")
+	if i <= 0 { // absent, or the base would be empty
+		return "", "", false
 	}
-	visit(e)
-	switch n := e.(type) {
-	case Seq:
-		for _, c := range n {
-			Walk(c, visit)
-		}
-	case Par:
-		for _, c := range n {
-			Walk(c, visit)
-		}
-	case ParN:
-		for _, c := range n.Body {
-			Walk(c, visit)
-		}
-	case Scope:
-		for _, c := range n.Body {
-			Walk(c, visit)
-		}
-	case Txn:
-		for _, c := range n.Body {
-			Walk(c, visit)
-		}
-	case Otherwise:
-		Walk(n.Try, visit)
-		Walk(n.Handler, visit)
-	case If:
-		Walk(n.Then, visit)
-		if n.Else != nil {
-			Walk(n.Else, visit)
-		}
-	case Case:
-		for _, a := range n.Arms {
-			for _, c := range a.Body {
-				Walk(c, visit)
-			}
-		}
-		for _, c := range n.Otherwise {
-			Walk(c, visit)
-		}
+	idxVar = name[i+2 : len(name)-1]
+	if idxVar == "" || strings.ContainsAny(idxVar, "[]$") {
+		return "", "", false
 	}
-}
-
-// WalkBody visits every expression of a body slice.
-func WalkBody(body []Expr, visit func(Expr)) {
-	for _, e := range body {
-		Walk(e, visit)
-	}
+	return name[:i], idxVar, true
 }
 
 // Validate checks the paper's well-formedness rules and reports every

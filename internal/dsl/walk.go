@@ -1,0 +1,85 @@
+package dsl
+
+import "fmt"
+
+// Children returns e's immediate sub-expressions in evaluation order. Leaf
+// nodes return an empty slice. Unlike a plain type switch with a silent
+// default, Children is exhaustive-by-construction: an Expr kind it does not
+// know is an error, so analyses built on Walk can never silently skip a node
+// kind added later.
+func Children(e Expr) ([]Expr, error) {
+	switch n := e.(type) {
+	case nil:
+		return nil, nil
+	case Seq:
+		return n, nil
+	case Par:
+		return n, nil
+	case ParN:
+		return n.Body, nil
+	case Scope:
+		return n.Body, nil
+	case Txn:
+		return n.Body, nil
+	case Otherwise:
+		return []Expr{n.Try, n.Handler}, nil
+	case If:
+		if n.Else == nil {
+			return []Expr{n.Then}, nil
+		}
+		return []Expr{n.Then, n.Else}, nil
+	case Case:
+		var out []Expr
+		for _, a := range n.Arms {
+			out = append(out, a.Body...)
+		}
+		out = append(out, n.Otherwise...)
+		return out, nil
+	case Host, Save, Restore, Write, Wait, Assert, Retract, Verify, Keep,
+		Start, Stop, IdxAssign, Skip, Return, Retry, Break, Next, Reconsider:
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("dsl: unknown expression node %T (Children must be taught about new Expr kinds)", e)
+	}
+}
+
+// WalkErr visits e and every sub-expression in evaluation order, stopping at
+// the first error. It returns an error when it meets an Expr kind it does not
+// know, so callers cannot silently miss nodes.
+func WalkErr(e Expr, visit func(Expr) error) error {
+	if e == nil {
+		return nil
+	}
+	if err := visit(e); err != nil {
+		return err
+	}
+	kids, err := Children(e)
+	if err != nil {
+		return err
+	}
+	for _, k := range kids {
+		if k == nil {
+			continue
+		}
+		if err := WalkErr(k, visit); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Walk visits e and every sub-expression in evaluation order. It panics on an
+// unknown Expr kind — a programming error in this package, caught by the
+// exhaustiveness test in walk_test.go.
+func Walk(e Expr, visit func(Expr)) {
+	if err := WalkErr(e, func(x Expr) error { visit(x); return nil }); err != nil {
+		panic(err)
+	}
+}
+
+// WalkBody visits every expression of a body slice.
+func WalkBody(body []Expr, visit func(Expr)) {
+	for _, e := range body {
+		Walk(e, visit)
+	}
+}

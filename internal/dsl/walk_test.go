@@ -1,0 +1,195 @@
+package dsl
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"csaw/internal/formula"
+)
+
+// exemplars holds one instance of every Expr kind, keyed by its type name.
+// Composite kinds carry a marker child so the test can assert Walk descends
+// into them. When a new Expr kind is added to ast.go, the source scan below
+// fails until an exemplar is registered here AND Children in walk.go handles
+// the kind — Walk cannot silently skip nodes.
+var marker = Save{Data: "walk-marker"}
+
+var exemplars = map[string]Expr{
+	"Host":       Host{Label: "h"},
+	"Scope":      Scope{Body: []Expr{marker}},
+	"Txn":        Txn{Body: []Expr{marker}},
+	"Return":     Return{},
+	"Skip":       Skip{},
+	"Retry":      Retry{},
+	"Break":      Break{},
+	"Next":       Next{},
+	"Reconsider": Reconsider{},
+	"Write":      Write{Data: "n", To: J("i", "j")},
+	"Wait":       Wait{Cond: formula.P("P")},
+	"Save":       Save{Data: "n"},
+	"Restore":    Restore{Data: "n"},
+	"Seq":        Seq{marker},
+	"Par":        Par{marker},
+	"ParN":       ParN{N: 2, Body: []Expr{marker}},
+	"Otherwise":  Otherwise{Try: marker, Handler: marker},
+	"Start":      Start{Instance: "i"},
+	"Stop":       Stop{Instance: "i"},
+	"Assert":     Assert{Prop: PR("P")},
+	"Retract":    Retract{Prop: PR("P")},
+	"Verify":     Verify{Cond: formula.P("P")},
+	"Keep":       Keep{Props: []string{"P"}},
+	"If":         If{Cond: formula.P("P"), Then: marker, Else: marker},
+	"Case": Case{
+		Arms:      []CaseArm{{Cond: formula.P("P"), Body: []Expr{marker}, Term: TermBreak}},
+		Otherwise: []Expr{marker},
+	},
+	"IdxAssign": IdxAssign{Idx: "x", Elem: "e"},
+}
+
+// exprKindsFromSource parses ast.go and returns the receiver type name of
+// every exprNode() method — the authoritative list of Expr kinds.
+func exprKindsFromSource(t *testing.T) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "ast.go", nil, 0)
+	if err != nil {
+		t.Fatalf("parse ast.go: %v", err)
+	}
+	var kinds []string
+	for _, d := range f.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok || fd.Name.Name != "exprNode" || fd.Recv == nil || len(fd.Recv.List) != 1 {
+			continue
+		}
+		switch rt := fd.Recv.List[0].Type.(type) {
+		case *ast.Ident:
+			kinds = append(kinds, rt.Name)
+		case *ast.StarExpr:
+			if id, ok := rt.X.(*ast.Ident); ok {
+				kinds = append(kinds, id.Name)
+			}
+		}
+	}
+	if len(kinds) == 0 {
+		t.Fatal("no exprNode() methods found in ast.go")
+	}
+	return kinds
+}
+
+// TestWalkVisitsEveryNodeKind asserts that (a) the exemplar registry covers
+// every Expr kind declared in ast.go, (b) Walk visits each exemplar without
+// error, and (c) Walk descends into every composite kind (the marker child is
+// visited).
+func TestWalkVisitsEveryNodeKind(t *testing.T) {
+	kinds := exprKindsFromSource(t)
+	for _, kind := range kinds {
+		ex, ok := exemplars[kind]
+		if !ok {
+			t.Errorf("Expr kind %s from ast.go has no exemplar in walk_test.go; register one so Walk coverage stays exhaustive", kind)
+			continue
+		}
+		var visited []Expr
+		if err := WalkErr(ex, func(e Expr) error { visited = append(visited, e); return nil }); err != nil {
+			t.Errorf("WalkErr(%s): %v", kind, err)
+			continue
+		}
+		if len(visited) == 0 || fmt.Sprintf("%T", visited[0]) != "dsl."+kind {
+			t.Errorf("Walk(%s) did not visit the root node: %v", kind, visited)
+		}
+		kids, err := Children(ex)
+		if err != nil {
+			t.Errorf("Children(%s): %v", kind, err)
+			continue
+		}
+		if len(kids) > 0 {
+			found := false
+			for _, v := range visited {
+				if s, ok := v.(Save); ok && s.Data == marker.Data {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("Walk(%s) did not descend into the marker child; visited %v", kind, visited)
+			}
+		}
+	}
+	for name := range exemplars {
+		present := false
+		for _, k := range kinds {
+			if k == name {
+				present = true
+				break
+			}
+		}
+		if !present {
+			t.Errorf("exemplar %s has no matching Expr kind in ast.go (stale registry entry)", name)
+		}
+	}
+}
+
+// unknownExpr is an Expr kind Walk has never heard of.
+type unknownExpr struct{}
+
+func (unknownExpr) exprNode()      {}
+func (unknownExpr) String() string { return "unknown" }
+
+func TestWalkRejectsUnknownNodes(t *testing.T) {
+	if _, err := Children(unknownExpr{}); err == nil {
+		t.Fatal("Children(unknownExpr) should error")
+	}
+	if err := WalkErr(unknownExpr{}, func(Expr) error { return nil }); err == nil {
+		t.Fatal("WalkErr(unknownExpr) should error")
+	}
+	// An unknown node nested inside a known composite must surface too.
+	if err := WalkErr(Seq{Skip{}, unknownExpr{}}, func(Expr) error { return nil }); err == nil {
+		t.Fatal("WalkErr(Seq{...unknownExpr}) should error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Walk(unknownExpr) should panic")
+		}
+	}()
+	Walk(unknownExpr{}, func(Expr) {})
+}
+
+func TestSplitIdxPropEdgeCases(t *testing.T) {
+	cases := []struct {
+		name     string
+		base, iv string
+		ok       bool
+	}{
+		{"Work[$tgt]", "Work", "tgt", true},
+		{"A[x][$i]", "A[x]", "i", true},      // concrete-indexed base survives
+		{"A[$i][$j]", "A[$i]", "j", true},    // only the last [$...] group splits
+		{"Plain", "", "", false},             // no index
+		{"Concrete[b1]", "", "", false},      // concrete index, not a var
+		{"Work[me::junction]", "", "", false},// self token, not a var
+		{"[$i]", "", "", false},              // empty base
+		{"A[$]", "", "", false},              // empty idx var
+		{"A[$i]x", "", "", false},            // trailing garbage
+		{"A[$i]]", "", "", false},            // idx var would contain ']'
+		{"A[$i[j]", "", "", false},           // idx var would contain '['
+		{"", "", "", false},
+		{"]", "", "", false},
+	}
+	for _, c := range cases {
+		base, iv, ok := SplitIdxProp(c.name)
+		if base != c.base || iv != c.iv || ok != c.ok {
+			t.Errorf("SplitIdxProp(%q) = (%q, %q, %v), want (%q, %q, %v)",
+				c.name, base, iv, ok, c.base, c.iv, c.ok)
+		}
+	}
+	// Round trip: whatever PropIdx builds, SplitIdxProp must decompose.
+	for _, pair := range [][2]string{{"Work", "tgt"}, {"Backend", "b"}, {"A[x]", "i"}} {
+		p := PropIdx(pair[0], pair[1])
+		base, iv, ok := SplitIdxProp(p.Name)
+		if !ok || base != pair[0] || iv != pair[1] {
+			t.Errorf("round trip PropIdx(%q,%q) -> SplitIdxProp(%q) = (%q,%q,%v)",
+				pair[0], pair[1], p.Name, base, iv, ok)
+		}
+	}
+}

@@ -1,0 +1,31 @@
+package events
+
+import "testing"
+
+// TestConsistentFiltersOrJoinArtifacts builds the OR-join shape the
+// continuation splicing produces — an event enabled below both alternatives
+// of a minimal-conflict pair — and checks Consistent rejects it while
+// Concurrent alone does not.
+func TestConsistentFiltersOrJoinArtifacts(t *testing.T) {
+	s := NewStructure()
+	a := s.Add(Label{Kind: KindRd, Junction: "J", Key: "P", Value: "tt"})
+	b := s.Add(Label{Kind: KindRd, Junction: "J", Key: "P", Value: "ff"})
+	c := s.Add(Label{Kind: KindWr, Junction: "J", Key: "d", Value: "*"})
+	e := s.Add(Label{Kind: KindWr, Junction: "J", Key: "d", Value: "*"})
+	s.Conflict(a.ID, b.ID)
+	s.Enable(a.ID, c.ID)
+	s.Enable(b.ID, c.ID) // OR-join: c sits below both alternatives
+
+	if !s.Concurrent(c.ID, e.ID) {
+		t.Fatal("c and e should be incomparable and not in inherited conflict")
+	}
+	if s.Consistent(c.ID, e.ID) {
+		t.Fatal("c's history contains the conflicting pair a # b; no configuration holds both c and e")
+	}
+	if !s.Consistent(a.ID, e.ID) {
+		t.Fatal("a and e have conflict-free joint history")
+	}
+	if s.Consistent(a.ID, b.ID) {
+		t.Fatal("a # b directly")
+	}
+}

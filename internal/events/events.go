@@ -309,6 +309,28 @@ func (s *Structure) InConflict(a, b EventID) bool {
 	return false
 }
 
+// Consistent reports whether a and b can occur together in one configuration:
+// the downward closure of {a, b} contains no minimally conflicting pair. This
+// is strictly stronger than ¬InConflict: the denotation's continuation
+// splicing can OR-join an event below both alternatives of a case or
+// otherwise, giving a continuation copy a causal history that is itself
+// inconsistent. Such a copy occurs in no configuration, so any concurrency
+// involving it is an artifact of the encoding, not a behaviour.
+func (s *Structure) Consistent(a, b EventID) bool {
+	h := s.Causes(a)
+	for x := range s.Causes(b) {
+		h[x] = true
+	}
+	for x := range h {
+		for y, ok := range s.Conflicts[x] {
+			if ok && h[y] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // Concurrent reports the paper's concurrency predicate: incomparable by
 // enablement and conflict-free including causes (§8.1).
 func (s *Structure) Concurrent(a, b EventID) bool {

@@ -137,7 +137,8 @@ func Failover(cfg FailoverConfig) *dsl.Program {
 		dsl.InitProp{Name: "Call", Init: false},
 		dsl.InitProp{Name: "HaveAtLeastOne", Init: false},
 	)
-	fbDecls = append(fbDecls, dsl.ForProps("Backend", backends, false)...)
+	// Backend[b̃] is asserted *at f::c* (inside Initialize) and consumed there;
+	// f::b itself never reads it, so the family is declared at f::c only.
 	fbDecls = append(fbDecls, dsl.ForProps("InitBackend", backends, false)...)
 
 	startingArm := []dsl.Expr{
@@ -355,7 +356,8 @@ func Failover(cfg FailoverConfig) *dsl.Program {
 		dsl.Decls(
 			dsl.InitProp{Name: "Active", Init: false},
 			dsl.InitProp{Name: "Activating", Init: false},
-			dsl.InitProp{Name: "RecentlyActive", Init: false},
+			// RecentlyActive lives at b::reactivate (serve only asserts it
+			// there); no local declaration needed.
 			dsl.InitData{Name: "preresp"},
 			dsl.InitData{Name: "state"},
 			dsl.InitData{Name: "req"},
@@ -399,10 +401,10 @@ func Failover(cfg FailoverConfig) *dsl.Program {
 	)))
 
 	// --- τb::startup (Fig. 14) ------------------------------------------------
+	// InitBackend[me::instance::serve] is declared at f::b (the assert's
+	// target), not here: startup holds no state of its own.
 	p.Type("tauB").Junction(StartupJunction, dsl.Def(
-		dsl.Decls(
-			dsl.InitProp{Name: "InitBackend[me::instance::serve]", Init: false},
-		),
+		nil,
 		dsl.OtherwiseT(
 			dsl.Assert{Target: fb, Prop: dsl.PRAt("InitBackend", "me::instance::serve")},
 			cfg.Timeout,
@@ -416,9 +418,9 @@ func Failover(cfg FailoverConfig) *dsl.Program {
 	// --- τb::reactivate (Fig. 14) ----------------------------------------------
 	p.Type("tauB").Junction(ReactivateJunction, dsl.Def(
 		dsl.Decls(
+			// Active/Activating belong to b::serve, where the timeout handler
+			// retracts them; reactivate only owns the liveness bit.
 			dsl.InitProp{Name: "RecentlyActive", Init: false},
-			dsl.InitProp{Name: "Active", Init: false},
-			dsl.InitProp{Name: "Activating", Init: false},
 		),
 		dsl.Retract{Prop: dsl.PR("RecentlyActive")},
 		dsl.OtherwiseT(

@@ -43,8 +43,9 @@ func ParallelSharding(cfg ParallelShardingConfig) *dsl.Program {
 	}
 
 	decls := dsl.Decls(
+		// Fig. 6 never delivers responses to the front, so unlike plain
+		// sharding there is no m slot here — only the outgoing request n.
 		dsl.InitData{Name: "n"},
-		dsl.InitData{Name: "m"},
 		// | set Backs   (➊)
 		dsl.DeclSet{Name: "Backs", Elems: backs},
 		// | subset tgt of Backs   (➌)

@@ -132,13 +132,15 @@ func WatchedFailover(cfg WatchedFailoverConfig) *dsl.Program {
 
 	s := func(inst string) formula.Formula { return runtime.Running(inst + "::" + WatchedJunction) }
 
+	// The watchdog holds no state of its own: failover/nofailover are
+	// declared where they are delivered (the backends and f).
 	w := p.Type("tauW")
 	w.Junction("cs", dsl.Def(
-		dsl.Decls(dsl.InitProp{Name: "failover", Init: false}),
+		nil,
 		p.CallF("Watch", StandbyBackend, "failover"),
 	).Guarded(formula.And(formula.Not(s(PrimaryBackend)), s(StandbyBackend), s(WatchedFront))))
 	w.Junction("co", dsl.Def(
-		dsl.Decls(dsl.InitProp{Name: "nofailover", Init: false}),
+		nil,
 		p.CallF("Watch", PrimaryBackend, "nofailover"),
 	).Guarded(formula.And(formula.Not(s(StandbyBackend)), s(PrimaryBackend), s(WatchedFront))))
 	w.Junction("cunrecov", dsl.Def(
@@ -179,11 +181,19 @@ func WatchedFailover(cfg WatchedFailoverConfig) *dsl.Program {
 		decls := dsl.Decls(
 			dsl.InitProp{Name: dsl.IndexedName("Run", self), Init: false},
 			dsl.InitProp{Name: "Reply", Init: false},
-			dsl.InitProp{Name: "failover", Init: false},
-			dsl.InitProp{Name: "nofailover", Init: false},
 			dsl.InitData{Name: "n"},
 			dsl.InitData{Name: "m"},
 		)
+		if onlyOnFailover {
+			// The standby consults failover in its case; the watchdog's cs
+			// junction asserts it here.
+			decls = append(decls, dsl.InitProp{Name: "failover", Init: false})
+		} else {
+			// The primary only *receives* nofailover (from the watchdog's co
+			// junction); its consumer is f. The declaration is required for
+			// the remote assert to be deliverable.
+			decls = append(decls, dsl.InitProp{Name: "nofailover", Init: false})
+		}
 		body := []dsl.Expr{
 			dsl.Verify{Cond: formula.Not(formula.P("Reply"))},
 			dsl.Restore{Data: "n", Writes: []string{"m"}, Into: func(ctx dsl.HostCtx, req []byte) error {

@@ -16,10 +16,12 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"csaw/internal/analysis"
 	"csaw/internal/compart"
 	"csaw/internal/dsl"
 	"csaw/internal/kv"
@@ -42,6 +44,14 @@ type Options struct {
 	// DisableLocalPriority turns off the paper's local-priority rule
 	// (ablation only: remote updates then apply immediately on arrival).
 	DisableLocalPriority bool
+	// Vet runs the static-analysis pass suite (internal/analysis) over the
+	// program at construction time and refuses to build a system whose
+	// program carries error-severity findings (unreachable junctions,
+	// undeclared remote state, confirmed parallel write conflicts, ...).
+	Vet bool
+	// VetSuppress mutes recorded findings in strict mode, each with its
+	// reason; ignored unless Vet is set.
+	VetSuppress []analysis.Suppression
 }
 
 func (o *Options) fill() {
@@ -89,6 +99,21 @@ type Instance struct {
 func New(p *dsl.Program, opts Options) (*System, error) {
 	if err := dsl.Validate(p); err != nil {
 		return nil, err
+	}
+	if opts.Vet {
+		rep, err := analysis.Analyze(p, &analysis.Config{Suppress: opts.VetSuppress})
+		if err != nil {
+			return nil, err
+		}
+		if n := rep.Errors(); n > 0 {
+			var b strings.Builder
+			for _, d := range rep.Diagnostics {
+				if d.Severity == analysis.SevError {
+					fmt.Fprintf(&b, "\n  %s", d)
+				}
+			}
+			return nil, fmt.Errorf("runtime: program fails vet with %d error-severity finding(s):%s", n, b.String())
+		}
 	}
 	opts.fill()
 	net := opts.Net

@@ -1,0 +1,67 @@
+package runtime
+
+import (
+	"strings"
+	"testing"
+
+	"csaw/internal/analysis"
+	"csaw/internal/dsl"
+	"csaw/internal/formula"
+)
+
+// vetBrokenProgram carries an error-severity finding: b::j is guarded on
+// local state nothing ever writes, so it is unreachable.
+func vetBrokenProgram() *dsl.Program {
+	p := dsl.NewProgram()
+	p.Type("tauA").Junction("j", dsl.Def(nil, dsl.Skip{}))
+	p.Type("tauB").Junction("j", dsl.Def(
+		dsl.Decls(dsl.InitProp{Name: "Wake", Init: false}),
+		dsl.Retract{Prop: dsl.PR("Wake")},
+	).Guarded(formula.P("Wake")))
+	p.Instance("a", "tauA")
+	p.Instance("b", "tauB")
+	p.SetMain(dsl.Par{dsl.Start{Instance: "a"}, dsl.Start{Instance: "b"}})
+	return p
+}
+
+func TestStrictModeRefusesErrorFindings(t *testing.T) {
+	p := vetBrokenProgram()
+	if _, err := New(p, Options{}); err != nil {
+		t.Fatalf("non-strict New should accept the program: %v", err)
+	}
+	_, err := New(p, Options{Vet: true})
+	if err == nil {
+		t.Fatal("strict New accepted a program with an error-severity finding")
+	}
+	if !strings.Contains(err.Error(), "fails vet") || !strings.Contains(err.Error(), "unreachable") {
+		t.Fatalf("unexpected strict-mode error: %v", err)
+	}
+}
+
+func TestStrictModeSuppression(t *testing.T) {
+	sup := analysis.Suppression{
+		Pass:   "reachability",
+		Match:  "junction is unreachable",
+		Reason: "fixture: the junction is woken by an external bridge",
+	}
+	sys, err := New(vetBrokenProgram(), Options{Vet: true, VetSuppress: []analysis.Suppression{sup}})
+	if err != nil {
+		t.Fatalf("strict New with suppression: %v", err)
+	}
+	if sys == nil {
+		t.Fatal("nil system")
+	}
+}
+
+func TestStrictModeAcceptsCleanProgram(t *testing.T) {
+	p := dsl.NewProgram()
+	p.Type("tau").Junction("j", dsl.Def(
+		dsl.Decls(dsl.InitProp{Name: "Go", Init: true}),
+		dsl.Retract{Prop: dsl.PR("Go")},
+	).Guarded(formula.P("Go")))
+	p.Instance("a", "tau")
+	p.SetMain(dsl.Start{Instance: "a"})
+	if _, err := New(p, Options{Vet: true}); err != nil {
+		t.Fatalf("strict New rejected a clean program: %v", err)
+	}
+}
