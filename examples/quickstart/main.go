@@ -69,11 +69,23 @@ func main() {
 		fmt.Printf("  %s -> %s\n", e.From, e.To)
 	}
 
-	sys, err := runtime.New(p, runtime.Options{})
+	// Poll is deliberately huge: g's guard reads only local state, so its
+	// driver is scheduled by the keyed-subscription wake from the arriving
+	// assertion, never by the poll timer — the three invocations below
+	// complete in milliseconds regardless.
+	sys, err := runtime.New(p, runtime.Options{Poll: 30 * time.Second})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer sys.Close()
+
+	// The compiled execution plan exposes what each guard depends on.
+	for fq, pj := range sys.Plan().Junctions {
+		if pj.Guard != nil {
+			fmt.Printf("compiled guard read-set of %s: props=%v localOnly=%t\n",
+				fq, pj.Guard.Props, pj.Guard.LocalOnly())
+		}
+	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()

@@ -119,6 +119,40 @@ func (ji *JunctionInfo) Idxs() []string { return ji.decls.idxOrder }
 // Subsets returns the declared subset names in order.
 func (ji *JunctionInfo) Subsets() []string { return ji.decls.subOrder }
 
+// ResolveName substitutes the me:: self tokens in a name the way the runtime
+// does at this junction.
+func (ji *JunctionInfo) ResolveName(s string) string { return resolveSelf(ji, s) }
+
+// HasProp reports whether the resolved proposition name is declared here.
+func (ji *JunctionInfo) HasProp(name string) bool { return ji.decls.props[name] }
+
+// HasData reports whether the data name is declared here.
+func (ji *JunctionInfo) HasData(name string) bool { return ji.decls.data[name] }
+
+// IdxUniverse returns the static element universe an idx declaration ranges
+// over (the elements of its set, or of a subset's parent set). ok is false
+// when the idx is not declared or its universe cannot be resolved statically.
+func (ji *JunctionInfo) IdxUniverse(idx string) ([]string, bool) {
+	setName, ok := ji.decls.idxs[idx]
+	if !ok {
+		return nil, false
+	}
+	return ji.decls.setElems(setName)
+}
+
+// SetUniverse resolves a set or subset name to its static element universe.
+func (ji *JunctionInfo) SetUniverse(name string) ([]string, bool) {
+	return ji.decls.setElems(name)
+}
+
+// PropKeys resolves a PropRef written at this junction to concrete table
+// keys, expanding an idx-variable index to its family over the idx's element
+// universe; idxRead names the idx consulted, if any. keys is nil when an
+// idx-variable's universe cannot be resolved statically.
+func (ji *JunctionInfo) PropKeys(pr dsl.PropRef) (keys []string, idxRead string) {
+	return ji.propKeys(pr)
+}
+
 // NewContext builds the shared facts for a validated program.
 func NewContext(p *dsl.Program, unfold int) *Context {
 	c := &Context{

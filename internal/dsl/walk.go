@@ -1,6 +1,10 @@
 package dsl
 
-import "fmt"
+import (
+	"fmt"
+
+	"csaw/internal/formula"
+)
 
 // Children returns e's immediate sub-expressions in evaluation order. Leaf
 // nodes return an empty slice. Unlike a plain type switch with a silent
@@ -82,4 +86,27 @@ func WalkBody(body []Expr, visit func(Expr)) {
 	for _, e := range body {
 		Walk(e, visit)
 	}
+}
+
+// VisitFormulas visits every formula embedded in e and its sub-expressions in
+// evaluation order: wait conditions, if conditions, case arm conditions, and
+// verify conditions. Guard formulas live on JunctionDef, not in the body, so
+// they are the caller's concern. Like WalkErr it returns an error on an Expr
+// kind it does not know, so lowering passes cannot silently skip a formula.
+func VisitFormulas(e Expr, visit func(formula.Formula)) error {
+	return WalkErr(e, func(x Expr) error {
+		switch n := x.(type) {
+		case Wait:
+			visit(n.Cond)
+		case If:
+			visit(n.Cond)
+		case Verify:
+			visit(n.Cond)
+		case Case:
+			for _, a := range n.Arms {
+				visit(a.Cond)
+			}
+		}
+		return nil
+	})
 }

@@ -112,6 +112,12 @@ type Table struct {
 	// notify is pinged whenever an update is enqueued or admitted, waking a
 	// blocked wait.
 	notify chan struct{}
+
+	// subs holds the keyed subscriptions of event-driven waiters and
+	// schedulers. Unlike notify (one coalesced channel for the whole table),
+	// a subscription is woken only when one of its registered keys changes.
+	subs    map[int]*Subscription
+	nextSid int
 }
 
 // NewTable returns an empty table with no declared names.
@@ -121,6 +127,7 @@ func NewTable() *Table {
 		data:    map[string]Value{},
 		waiters: map[int]*WaitSet{},
 		notify:  make(chan struct{}, 1),
+		subs:    map[int]*Subscription{},
 	}
 }
 
@@ -133,6 +140,104 @@ func (t *Table) ping() {
 	case t.notify <- struct{}{}:
 	default:
 	}
+}
+
+// Subscription is a keyed wake registration. The holder is woken (a token is
+// placed on Ch) whenever one of its registered propositions or data keys
+// changes — by a remote enqueue, a local write, a wait-time admission, or a
+// transactional rollback — instead of on every table event like Notify.
+// The channel has capacity one, so wakes that race ahead of the holder's
+// re-evaluation are retained, never lost.
+type Subscription struct {
+	id    int
+	ch    chan struct{}
+	props map[string]bool
+	data  map[string]bool
+	all   bool
+}
+
+// Ch returns the wake channel. A received token means "one of your keys may
+// have changed since you last looked"; spurious wakes are possible, missed
+// wakes are not.
+func (s *Subscription) Ch() <-chan struct{} { return s.ch }
+
+func (s *Subscription) wants(kind UpdateKind, key string) bool {
+	if s.all {
+		return true
+	}
+	switch kind {
+	case UpdateProp:
+		return s.props[key]
+	case UpdateData:
+		return s.data[key]
+	}
+	return false
+}
+
+func (s *Subscription) wake() {
+	select {
+	case s.ch <- struct{}{}:
+	default:
+	}
+}
+
+// Subscribe registers interest in the given proposition and data keys.
+// The caller must Unsubscribe when done.
+func (t *Table) Subscribe(props, data []string) *Subscription {
+	s := &Subscription{ch: make(chan struct{}, 1), props: map[string]bool{}, data: map[string]bool{}}
+	for _, k := range props {
+		s.props[k] = true
+	}
+	for _, k := range data {
+		s.data[k] = true
+	}
+	t.addSub(s)
+	return s
+}
+
+// SubscribeAll registers interest in every key of the table.
+func (t *Table) SubscribeAll() *Subscription {
+	s := &Subscription{ch: make(chan struct{}, 1), all: true}
+	t.addSub(s)
+	return s
+}
+
+func (t *Table) addSub(s *Subscription) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s.id = t.nextSid
+	t.nextSid++
+	t.subs[s.id] = s
+}
+
+// Unsubscribe removes a subscription; its channel is never signalled again.
+func (t *Table) Unsubscribe(s *Subscription) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.subs, s.id)
+}
+
+// wakeKeyLocked wakes every subscription registered for the key. Sends are
+// non-blocking (capacity-one channels), so calling under t.mu is safe.
+func (t *Table) wakeKeyLocked(kind UpdateKind, key string) {
+	for _, s := range t.subs {
+		if s.wants(kind, key) {
+			s.wake()
+		}
+	}
+}
+
+// WakeAll wakes every subscription and pings the coalesced notify channel.
+// The runtime uses it for events that can change what a formula reads without
+// touching the table itself (an idx or subset reassignment redirects which
+// key an indexed proposition resolves to).
+func (t *Table) WakeAll() {
+	t.mu.Lock()
+	for _, s := range t.subs {
+		s.wake()
+	}
+	t.mu.Unlock()
+	t.ping()
 }
 
 // DeclareProp declares a proposition with its initial value ("init prop ¬P"
@@ -187,11 +292,28 @@ func (t *Table) SetProp(name string, v bool) error {
 	}
 	t.props[name] = v
 	t.dropPendingLocked(UpdateProp, name)
+	t.wakeKeyLocked(UpdateProp, name)
 	return nil
 }
 
-// Data returns the current value of a declared, defined data variable.
+// Data returns a copy of the current value of a declared, defined data
+// variable. Callers own the returned slice: mutating it cannot corrupt table
+// state behind the lock. Runtime paths that only forward the bytes and never
+// mutate them can use DataRef to skip the copy.
 func (t *Table) Data(name string) ([]byte, error) {
+	b, err := t.DataRef(name)
+	if err != nil {
+		return nil, err
+	}
+	cp := make([]byte, len(b))
+	copy(cp, b)
+	return cp, nil
+}
+
+// DataRef is the zero-copy variant of Data: it returns the table's internal
+// byte slice. The caller must treat the slice as read-only — writing through
+// it would mutate table state without the lock.
+func (t *Table) DataRef(name string) ([]byte, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	v, ok := t.data[name]
@@ -221,6 +343,7 @@ func (t *Table) SetData(name string, data []byte) error {
 	}
 	t.data[name] = Value{Defined: true, Data: data}
 	t.dropPendingLocked(UpdateData, name)
+	t.wakeKeyLocked(UpdateData, name)
 	return nil
 }
 
@@ -237,7 +360,10 @@ func (t *Table) dropPendingLocked(kind UpdateKind, key string) {
 
 // Enqueue delivers a remote update. If the junction is currently blocked in
 // a wait whose admission set covers the update, the update is applied
-// immediately; otherwise it queues until the next scheduling.
+// immediately; otherwise it queues until the next scheduling. Keyed
+// subscribers of the key are woken either way: a queued update becomes
+// visible at the junction's next ApplyPending, so a guard watcher must
+// re-evaluate (which is what triggers that scheduling).
 func (t *Table) Enqueue(u Update) {
 	t.mu.Lock()
 	u.seq = t.nextSeq
@@ -247,6 +373,7 @@ func (t *Table) Enqueue(u Update) {
 	} else {
 		t.pending = append(t.pending, u)
 	}
+	t.wakeKeyLocked(u.Kind, u.Key)
 	t.mu.Unlock()
 	t.ping()
 }
@@ -274,6 +401,7 @@ func (t *Table) ApplyPending() int {
 	n := len(t.pending)
 	for _, u := range t.pending {
 		t.applyLocked(u)
+		t.wakeKeyLocked(u.Kind, u.Key)
 	}
 	t.pending = nil
 	return n
@@ -324,6 +452,7 @@ func (t *Table) BeginWait(ws WaitSet) (handle int) {
 	for _, u := range t.pending {
 		if ws.admits(u) {
 			t.applyLocked(u)
+			t.wakeKeyLocked(u.Kind, u.Key)
 			continue
 		}
 		kept = append(kept, u)
@@ -339,12 +468,14 @@ func (t *Table) EndWait(handle int) {
 	delete(t.waiters, handle)
 }
 
-// Snapshot captures the table contents for transactional rollback (the
-// ⟨|E|⟩ block). The pending queue is NOT captured: queued communication from
-// other junctions survives a rollback.
+// Snapshot captures table contents for transactional rollback (the ⟨|E|⟩
+// block). The pending queue is NOT captured: queued communication from other
+// junctions survives a rollback. A snapshot is either full (every key) or
+// partial (only the keys a compiled transaction's write-set can touch).
 type Snapshot struct {
-	props map[string]bool
-	data  map[string]Value
+	props   map[string]bool
+	data    map[string]Value
+	partial bool
 }
 
 // Snapshot returns a deep copy of the current table contents.
@@ -356,30 +487,63 @@ func (t *Table) Snapshot() Snapshot {
 		s.props[k] = v
 	}
 	for k, v := range t.data {
-		cp := v
-		if v.Data != nil {
-			cp.Data = append([]byte(nil), v.Data...)
-		}
-		s.data[k] = cp
+		s.data[k] = copyValue(v)
 	}
 	return s
 }
 
-// Restore rolls the table contents back to a snapshot.
+// SnapshotKeys returns a partial deep copy covering only the listed keys
+// (undeclared names are skipped). Restoring it rolls back exactly those keys
+// and leaves the rest of the table untouched, so it is equivalent to a full
+// snapshot/restore whenever the key list over-approximates what the guarded
+// block can modify.
+func (t *Table) SnapshotKeys(props, data []string) Snapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := Snapshot{
+		props:   make(map[string]bool, len(props)),
+		data:    make(map[string]Value, len(data)),
+		partial: true,
+	}
+	for _, k := range props {
+		if v, ok := t.props[k]; ok {
+			s.props[k] = v
+		}
+	}
+	for _, k := range data {
+		if v, ok := t.data[k]; ok {
+			s.data[k] = copyValue(v)
+		}
+	}
+	return s
+}
+
+func copyValue(v Value) Value {
+	cp := v
+	if v.Data != nil {
+		cp.Data = append([]byte(nil), v.Data...)
+	}
+	return cp
+}
+
+// Restore rolls table contents back to a snapshot: every key for a full
+// snapshot, only the captured keys for a partial one. Subscribers of the
+// restored keys are woken — a rollback changes visible values just like a
+// write does.
 func (t *Table) Restore(s Snapshot) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.props = make(map[string]bool, len(s.props))
+	if !s.partial {
+		t.props = make(map[string]bool, len(s.props))
+		t.data = make(map[string]Value, len(s.data))
+	}
 	for k, v := range s.props {
 		t.props[k] = v
+		t.wakeKeyLocked(UpdateProp, k)
 	}
-	t.data = make(map[string]Value, len(s.data))
 	for k, v := range s.data {
-		cp := v
-		if v.Data != nil {
-			cp.Data = append([]byte(nil), v.Data...)
-		}
-		t.data[k] = cp
+		t.data[k] = copyValue(v)
+		t.wakeKeyLocked(UpdateData, k)
 	}
 }
 
@@ -415,6 +579,7 @@ func (t *Table) ApplyNow(u Update) {
 	u.seq = t.nextSeq
 	t.nextSeq++
 	t.applyLocked(u)
+	t.wakeKeyLocked(u.Kind, u.Key)
 	t.mu.Unlock()
 	t.ping()
 }

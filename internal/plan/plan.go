@@ -1,0 +1,254 @@
+// Package plan lowers a validated dsl.Program into per-junction execution
+// metadata, computed once instead of rediscovered on every scheduling.
+//
+// The lowering reuses the dependency facts of internal/analysis: guard and
+// wait formulas get read-sets (the concrete local table keys they consult,
+// with idx-indexed families expanded over their static element universe),
+// and transaction blocks get write-sets (the keys their body can touch), so
+// the runtime can subscribe to exactly the keys a guard reads and snapshot
+// exactly the keys a transaction can modify. Everything here is static: the
+// runtime layers its per-start closure compilation on top (the same split
+// package serial uses between plan compilation and codec execution).
+package plan
+
+import (
+	"strings"
+
+	"csaw/internal/analysis"
+	"csaw/internal/dsl"
+	"csaw/internal/formula"
+	"csaw/internal/kv"
+)
+
+// ReadSet lists the concrete local table keys a formula consults when
+// evaluated at one junction.
+type ReadSet struct {
+	// Props are resolved local proposition keys; an idx-indexed proposition
+	// P[tgt] contributes its whole family over tgt's element universe (the
+	// value of tgt selects among them at evaluation time).
+	Props []string
+	// Data are data keys read-waited alongside the formula (wait's n⃗).
+	Data []string
+	// Remote is true when the formula also consults state the local table
+	// cannot observe: junction-qualified propositions, the @running liveness
+	// predicate, or an idx family whose universe is not statically
+	// resolvable. Keyed subscriptions cannot wake on those changes, so
+	// schedulers keep a fallback poll for such formulas.
+	Remote bool
+	// Idx is true when the formula reads through an idx variable, i.e. its
+	// concrete keys depend on runtime idx state.
+	Idx bool
+	// Unbounded is true when an idx family could not be expanded because its
+	// element universe is not statically resolvable; Props then under-lists
+	// the formula's keys. Unbounded implies Remote.
+	Unbounded bool
+}
+
+// LocalOnly reports whether every input of the formula is observable through
+// the local table's keyed subscriptions — the "never poll" case.
+func (rs ReadSet) LocalOnly() bool { return !rs.Remote }
+
+// WriteSet lists the local table keys a transaction body can modify.
+type WriteSet struct {
+	Props []string
+	Data  []string
+	// Full marks a write-set that could not be bounded statically; the
+	// transaction falls back to snapshotting the whole table.
+	Full bool
+}
+
+// WaitPlan is the lowered form of one wait statement.
+type WaitPlan struct {
+	// Static is set when the wait formula reads no idx variables: WS is then
+	// prebuilt once and shared (read-only) by every execution of the
+	// statement. Idx-reading waits rebuild their admission set per execution
+	// against current idx values, exactly like the interpreter.
+	Static bool
+	// WS is the prebuilt admission set (valid only when Static).
+	WS kv.WaitSet
+	// Reads is the read-set of the wait condition plus the waited data keys;
+	// it is the subscription set while blocked.
+	Reads ReadSet
+}
+
+// Junction is the lowered metadata for one (instance, junction) pair.
+type Junction struct {
+	FQ   string
+	Info *analysis.JunctionInfo
+	// Guard is the read-set of the junction's guard formula; nil when the
+	// junction is unguarded.
+	Guard *ReadSet
+}
+
+// Program is the lowered form of a whole architecture.
+type Program struct {
+	Prog      *dsl.Program
+	Junctions map[string]*Junction
+}
+
+// Compile lowers a validated program. It never fails: anything it cannot
+// bound statically degrades to the conservative form (Remote read-sets that
+// keep the poll fallback, Full write-sets that snapshot the whole table).
+func Compile(p *dsl.Program) *Program {
+	ctx := analysis.NewContext(p, 0)
+	out := &Program{Prog: p, Junctions: map[string]*Junction{}}
+	for _, ji := range ctx.Juncs {
+		pj := &Junction{FQ: ji.FQ, Info: ji}
+		if ji.Def.Guard != nil {
+			rs := FormulaReadSet(ji, ji.Def.Guard)
+			pj.Guard = &rs
+		}
+		out.Junctions[ji.FQ] = pj
+	}
+	return out
+}
+
+// FormulaReadSet computes the local keys formula f consults when evaluated
+// at junction ji. Idx-indexed propositions keep their raw base (the runtime
+// does not substitute me:: tokens under an index) and expand over the idx's
+// element universe with set elements resolved, mirroring how the runtime
+// resolves them at declaration and SetIdx time.
+func FormulaReadSet(ji *analysis.JunctionInfo, f formula.Formula) ReadSet {
+	var rs ReadSet
+	seen := map[string]bool{}
+	add := func(key string) {
+		if !seen[key] {
+			seen[key] = true
+			rs.Props = append(rs.Props, key)
+		}
+	}
+	for _, p := range formula.Props(f) {
+		if p.Junction != "" || strings.HasPrefix(p.Name, "@") {
+			rs.Remote = true
+			continue
+		}
+		if base, idxVar, ok := dsl.SplitIdxProp(p.Name); ok {
+			rs.Idx = true
+			elems, known := ji.IdxUniverse(idxVar)
+			if !known {
+				rs.Remote = true
+				rs.Unbounded = true
+				continue
+			}
+			for _, e := range elems {
+				add(dsl.IndexedName(base, ji.ResolveName(e)))
+			}
+			continue
+		}
+		add(ji.ResolveName(p.Name))
+	}
+	return rs
+}
+
+// CompileWait lowers one wait statement evaluated at ji.
+func CompileWait(ji *analysis.JunctionInfo, w dsl.Wait) WaitPlan {
+	rs := FormulaReadSet(ji, w.Cond)
+	rs.Data = append(rs.Data, w.Data...)
+	wp := WaitPlan{Reads: rs}
+	if !rs.Idx {
+		// No idx variables: the admission set the interpreter would build per
+		// execution (NewWaitSet over the idx-substituted formula) is the same
+		// every time — build it once.
+		wp.Static = true
+		wp.WS = kv.WaitSet{Props: map[string]bool{}, Data: map[string]bool{}}
+		if w.Cond != nil {
+			for _, p := range formula.Props(w.Cond) {
+				if p.Junction == "" {
+					wp.WS.Props[ji.ResolveName(p.Name)] = true
+				}
+			}
+		}
+		for _, k := range w.Data {
+			wp.WS.Data[k] = true
+		}
+	}
+	return wp
+}
+
+// CompileTxn computes the write-set of a transaction body evaluated at ji:
+// every local table key an assert/retract/save/restore/host-sink statement
+// can modify, plus every key a nested wait can admit a remote update for
+// (admitted updates apply mid-transaction, and a rollback must put them
+// back too, exactly as the interpreter's full-table snapshot does). A body
+// containing anything unboundable degrades to Full.
+func CompileTxn(ji *analysis.JunctionInfo, body []dsl.Expr) WriteSet {
+	var ws WriteSet
+	seenP := map[string]bool{}
+	seenD := map[string]bool{}
+	addProp := func(key string) {
+		if !seenP[key] {
+			seenP[key] = true
+			ws.Props = append(ws.Props, key)
+		}
+	}
+	addData := func(key string) {
+		if !seenD[key] {
+			seenD[key] = true
+			ws.Data = append(ws.Data, key)
+		}
+	}
+	addFormulaProps := func(f formula.Formula) bool {
+		rs := FormulaReadSet(ji, f)
+		if rs.Unbounded {
+			return false // an idx family we cannot expand
+		}
+		for _, k := range rs.Props {
+			addProp(k)
+		}
+		return true
+	}
+	for _, e := range body {
+		err := dsl.WalkErr(e, func(x dsl.Expr) error {
+			switch n := x.(type) {
+			case dsl.Assert:
+				keys, _ := ji.PropKeys(n.Prop)
+				if keys == nil {
+					ws.Full = true
+					break
+				}
+				for _, k := range keys {
+					addProp(k)
+				}
+			case dsl.Retract:
+				keys, _ := ji.PropKeys(n.Prop)
+				if keys == nil {
+					ws.Full = true
+					break
+				}
+				for _, k := range keys {
+					addProp(k)
+				}
+			case dsl.Save:
+				addData(n.Data)
+			case dsl.Restore:
+				for _, w := range n.Writes {
+					switch {
+					case ji.HasProp(ji.ResolveName(w)):
+						addProp(ji.ResolveName(w))
+					case ji.HasData(w):
+						addData(w)
+					}
+					// idx / subset writes are junction state, not table
+					// state: the interpreter's rollback does not revert
+					// them either.
+				}
+			case dsl.Wait:
+				if !addFormulaProps(n.Cond) {
+					ws.Full = true
+				}
+				for _, k := range n.Data {
+					addData(k)
+				}
+			case dsl.Host:
+				// Validation forbids host blocks inside transactions;
+				// degrade rather than miscompile if one slips through.
+				ws.Full = true
+			}
+			return nil
+		})
+		if err != nil {
+			ws.Full = true
+		}
+	}
+	return ws
+}

@@ -1,0 +1,223 @@
+package plan_test
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"csaw/internal/analysis"
+	"csaw/internal/dsl"
+	"csaw/internal/formula"
+	"csaw/internal/patterns"
+	"csaw/internal/plan"
+)
+
+func buildSharding(t *testing.T) *plan.Program {
+	t.Helper()
+	entry, ok := patterns.CatalogueEntryByName("sharding")
+	if !ok {
+		t.Fatal("sharding entry missing")
+	}
+	p := entry.Build()
+	if err := dsl.Validate(p); err != nil {
+		t.Fatal(err)
+	}
+	return plan.Compile(p)
+}
+
+func TestCompileCoversEveryJunction(t *testing.T) {
+	for _, entry := range patterns.Catalogue() {
+		p := entry.Build()
+		if err := dsl.Validate(p); err != nil {
+			t.Fatalf("%s: %v", entry.Name, err)
+		}
+		pp := plan.Compile(p)
+		ctx := analysis.NewContext(p, 0)
+		for _, ji := range ctx.Juncs {
+			pj := pp.Junctions[ji.FQ]
+			if pj == nil {
+				t.Fatalf("%s: junction %s missing from plan", entry.Name, ji.FQ)
+			}
+			if (ji.Def.Guard != nil) != (pj.Guard != nil) {
+				t.Fatalf("%s: %s guard read-set presence mismatch", entry.Name, ji.FQ)
+			}
+		}
+	}
+}
+
+func TestLocalGuardReadSet(t *testing.T) {
+	pp := buildSharding(t)
+	back := pp.Junctions[patterns.BackInstance(0) + "::" + patterns.ShardJunction]
+	if back == nil || back.Guard == nil {
+		t.Fatal("back junction or its guard read-set missing")
+	}
+	if !back.Guard.LocalOnly() {
+		t.Fatalf("back guard (local prop Work) classified Remote: %+v", back.Guard)
+	}
+	if len(back.Guard.Props) != 1 || back.Guard.Props[0] != "Work" {
+		t.Fatalf("back guard props = %v, want [Work]", back.Guard.Props)
+	}
+}
+
+func TestRemoteGuardReadSet(t *testing.T) {
+	entry, ok := patterns.CatalogueEntryByName("watched-failover")
+	if !ok {
+		t.Fatal("watched-failover entry missing")
+	}
+	p := entry.Build()
+	if err := dsl.Validate(p); err != nil {
+		t.Fatal(err)
+	}
+	pp := plan.Compile(p)
+	remote := 0
+	for _, pj := range pp.Junctions {
+		if pj.Guard != nil && pj.Guard.Remote {
+			remote++
+		}
+	}
+	if remote == 0 {
+		t.Fatal("watched-failover watchdog guards consult @running liveness; some read-set must be Remote")
+	}
+}
+
+func TestIdxFormulaExpandsFamily(t *testing.T) {
+	p := dsl.NewProgram()
+	p.Type("T").Junction("j", dsl.Def(
+		dsl.Decls(
+			dsl.InitProp{Name: "P[a]", Init: false},
+			dsl.InitProp{Name: "P[b]", Init: false},
+			dsl.DeclSet{Name: "S", Elems: []string{"a", "b"}},
+			dsl.DeclIdx{Name: "cur", Of: "S"},
+		),
+		dsl.Skip{},
+	).Guarded(dsl.PropIdx("P", "cur")))
+	p.Instance("i", "T")
+	p.SetMain(dsl.Start{Instance: "i"})
+	if err := dsl.Validate(p); err != nil {
+		t.Fatal(err)
+	}
+	pj := plan.Compile(p).Junctions["i::j"]
+	if pj.Guard == nil {
+		t.Fatal("guard read-set missing")
+	}
+	got := append([]string(nil), pj.Guard.Props...)
+	sort.Strings(got)
+	want := []string{"P[a]", "P[b]"}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("props = %v, want %v", got, want)
+	}
+	if !pj.Guard.Idx || pj.Guard.Remote {
+		t.Fatalf("read-set flags = %+v, want Idx && !Remote", pj.Guard)
+	}
+}
+
+func TestCompileWaitStaticAndDynamic(t *testing.T) {
+	pp := buildSharding(t)
+	front := pp.Junctions[patterns.FrontInstance+"::"+patterns.ShardJunction]
+	// wait [m] ¬Work: no idx variables → static, prebuilt WaitSet.
+	wp := plan.CompileWait(front.Info, dsl.Wait{Data: []string{"m"}, Cond: formula.Not(formula.P("Work"))})
+	if !wp.Static {
+		t.Fatal("idx-free wait must compile statically")
+	}
+	if !wp.WS.Props["Work"] || !wp.WS.Data["m"] {
+		t.Fatalf("wait set = %+v", wp.WS)
+	}
+	if wp.Reads.Remote {
+		t.Fatal("local wait classified Remote")
+	}
+	// A wait through an idx variable cannot prebuild its admission set.
+	dyn := plan.CompileWait(front.Info, dsl.Wait{Cond: formula.Not(dsl.PropIdx("Work", "tgt"))})
+	if dyn.Static {
+		t.Fatal("idx wait must rebuild its admission set per execution")
+	}
+	if !dyn.Reads.Idx {
+		t.Fatal("idx wait read-set must record the idx dependency")
+	}
+}
+
+func TestCompileTxnWriteSets(t *testing.T) {
+	p := dsl.NewProgram()
+	p.Type("T").Junction("j", dsl.Def(
+		dsl.Decls(
+			dsl.InitProp{Name: "P", Init: false},
+			dsl.InitProp{Name: "Q", Init: false},
+			dsl.InitData{Name: "n"},
+			dsl.InitData{Name: "m"},
+		),
+		dsl.Skip{},
+	))
+	p.Instance("i", "T")
+	p.SetMain(dsl.Start{Instance: "i"})
+	if err := dsl.Validate(p); err != nil {
+		t.Fatal(err)
+	}
+	ji := plan.Compile(p).Junctions["i::j"].Info
+
+	ws := plan.CompileTxn(ji, []dsl.Expr{
+		dsl.Assert{Prop: dsl.PR("P")},
+		dsl.Save{Data: "n", From: func(dsl.HostCtx) ([]byte, error) { return nil, nil }},
+		dsl.Wait{Data: []string{"m"}, Cond: formula.P("Q")},
+	})
+	if ws.Full {
+		t.Fatalf("statically boundable body compiled to Full: %+v", ws)
+	}
+	sort.Strings(ws.Props)
+	sort.Strings(ws.Data)
+	if len(ws.Props) != 2 || ws.Props[0] != "P" || ws.Props[1] != "Q" {
+		t.Fatalf("props = %v, want [P Q] (wait-admitted keys count as writes)", ws.Props)
+	}
+	if len(ws.Data) != 2 || ws.Data[0] != "m" || ws.Data[1] != "n" {
+		t.Fatalf("data = %v, want [m n]", ws.Data)
+	}
+
+	// A host block inside a transaction is rejected by Validate; if one
+	// slips through, the write-set must degrade to Full, never miscompile.
+	ws = plan.CompileTxn(ji, []dsl.Expr{dsl.Host{Label: "H", Fn: func(dsl.HostCtx) error { return nil }}})
+	if !ws.Full {
+		t.Fatal("host block must force a full snapshot")
+	}
+}
+
+func TestEveryCatalogueFormulaVisitable(t *testing.T) {
+	// Guard + body formulas of every catalogue entry must be enumerable by
+	// dsl.VisitFormulas and lowerable by FormulaReadSet without panicking —
+	// the contract the runtime's closure compiler relies on.
+	for _, entry := range patterns.Catalogue() {
+		p := entry.Build()
+		if err := dsl.Validate(p); err != nil {
+			t.Fatalf("%s: %v", entry.Name, err)
+		}
+		pp := plan.Compile(p)
+		for fq, pj := range pp.Junctions {
+			if pj.Info.Def.Guard != nil {
+				_ = plan.FormulaReadSet(pj.Info, pj.Info.Def.Guard)
+			}
+			count := 0
+			for _, e := range pj.Info.Def.Body {
+				if err := dsl.VisitFormulas(e, func(f formula.Formula) {
+					count++
+					_ = plan.FormulaReadSet(pj.Info, f)
+				}); err != nil {
+					t.Fatalf("%s: %s: %v", entry.Name, fq, err)
+				}
+			}
+		}
+	}
+}
+
+func TestCompileIsFastEnoughToRunPerStart(t *testing.T) {
+	// Smoke guard for the StartInstance path: compiling the largest
+	// catalogue entry must be far below human-visible latency.
+	entry, _ := patterns.CatalogueEntryByName("failover")
+	p := entry.Build()
+	if err := dsl.Validate(p); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	for i := 0; i < 10; i++ {
+		_ = plan.Compile(p)
+	}
+	if d := time.Since(start) / 10; d > 50*time.Millisecond {
+		t.Fatalf("plan.Compile took %v per program", d)
+	}
+}

@@ -1,5 +1,13 @@
 package runtime
 
+// This file is the tree-walking interpreter, retained as the executable
+// semantic reference for the compiled execution path in compiled.go (the
+// same role reflectwalk.go plays for the serial codec plans). The default
+// path lowers junction bodies to closures at StartInstance time; this
+// interpreter runs under Options.DisableCompiledPlan, and the equivalence
+// suite holds the two to identical observable behaviour over the whole
+// pattern catalogue.
+
 import (
 	"context"
 	"fmt"

@@ -10,6 +10,7 @@ import (
 	"csaw/internal/dsl"
 	"csaw/internal/formula"
 	"csaw/internal/kv"
+	"csaw/internal/plan"
 )
 
 // Junction is a running junction: its KV table, idx/subset state and the
@@ -30,6 +31,13 @@ type Junction struct {
 	idxs    map[string]string   // "" = undef
 
 	schedMu sync.Mutex // one scheduling at a time
+
+	// pj is the junction's static lowering (plan.Compile output); comp is the
+	// per-start closure compilation built on it. comp is nil under the
+	// Options.DisableCompiledPlan ablation, selecting the reference
+	// interpreter in exec.go.
+	pj   *plan.Junction
+	comp *compiledJunction
 
 	driverOnce sync.Once
 	stopCh     chan struct{}
@@ -66,6 +74,10 @@ func newJunction(s *System, inst *Instance, def *dsl.JunctionDef) *Junction {
 			j.idxs[n.Name] = ""
 		}
 	}
+	j.pj = s.plan.Junctions[j.FQName]
+	if j.pj != nil && !s.opts.DisableCompiledPlan {
+		j.comp = j.compile(j.pj)
+	}
 	return j
 }
 
@@ -101,7 +113,7 @@ func (j *Junction) GuardTrue() bool {
 	if j.def.Guard == nil {
 		return true
 	}
-	return j.def.Guard.Eval(j.env()) == formula.True
+	return j.guardTruth() == formula.True
 }
 
 // Schedule runs the junction body once. It applies pending updates, checks
@@ -116,14 +128,14 @@ func (j *Junction) Schedule(ctx context.Context) error {
 	if !j.sys.opts.DisableLocalPriority {
 		j.table.ApplyPending()
 	}
-	if j.def.Guard != nil && j.def.Guard.Eval(j.env()) != formula.True {
+	if j.def.Guard != nil && j.guardTruth() != formula.True {
 		return fmt.Errorf("%w: %s guard %s", ErrNotSchedulable, j.FQName, j.def.Guard)
 	}
 
 	// retry branches back to the beginning of the junction, at most
 	// RetryLimit times within a single scheduling (paper §6).
 	for attempt := 0; ; attempt++ {
-		sig, err := j.exec(ctx, dsl.Seq(j.def.Body))
+		sig, err := j.runBody(ctx)
 		if err != nil {
 			return fmt.Errorf("%s: %w", j.FQName, err)
 		}
@@ -138,48 +150,114 @@ func (j *Junction) Schedule(ctx context.Context) error {
 }
 
 // startDriver launches the runtime-driven scheduling loop used for guarded
-// junctions: whenever the guard becomes true the body runs.
+// junctions: whenever the guard becomes true the body runs. The compiled
+// path is event-driven over keyed subscriptions; the interpreter ablation
+// keeps the seed's coalesced-notify + poll loop.
 func (j *Junction) startDriver() {
 	j.driverOnce.Do(func() {
 		j.driverWG.Add(1)
-		go func() {
-			defer j.driverWG.Done()
-			timer := time.NewTimer(j.sys.opts.Poll)
-			defer timer.Stop()
-			for {
+		if j.comp != nil && j.comp.guardRS != nil {
+			go j.runDriverEvent()
+			return
+		}
+		go j.runDriverPoll()
+	})
+}
+
+// runDriverEvent schedules on keyed wakes: the driver subscribes to the
+// guard's read-set and blocks until one of those keys changes. The poll
+// timer survives only as a fallback, armed when the guard consults remote
+// state the local table cannot observe, or after a body failure (so crash
+// loops keep retrying and transient remote failures recover).
+func (j *Junction) runDriverEvent() {
+	defer j.driverWG.Done()
+	rs := j.comp.guardRS
+	sub := j.table.Subscribe(rs.Props, nil)
+	defer j.table.Unsubscribe(sub)
+	timer := time.NewTimer(j.sys.opts.Poll)
+	defer timer.Stop()
+	for {
+		select {
+		case <-j.stopCh:
+			return
+		default:
+		}
+		err := j.Schedule(context.Background())
+		if err == nil {
+			// Body ran; look again immediately — the guard may still hold
+			// (e.g. queued work), and a self-wake from the body's own writes
+			// is already buffered in the subscription.
+			continue
+		}
+		notSched := isNotSchedulable(err)
+		if !notSched && !errorsIsNotRunning(err) {
+			// A failed scheduling must not kill the junction: record and go on.
+			j.sys.noteDriverError(j.FQName, err)
+		}
+		if rs.Remote || !notSched {
+			if !timer.Stop() {
 				select {
-				case <-j.stopCh:
-					return
+				case <-timer.C:
 				default:
 				}
-				err := j.Schedule(context.Background())
-				if err == nil {
-					// Body ran; look again immediately — the guard may still
-					// hold (e.g. queued work).
-					continue
-				}
-				if !isNotSchedulable(err) && !errorsIsNotRunning(err) {
-					// Body failures are surfaced through the table's
-					// diagnostics hook if installed; the driver keeps going
-					// (a failed scheduling must not kill the junction).
-					j.sys.noteDriverError(j.FQName, err)
-				}
-				if !timer.Stop() {
-					select {
-					case <-timer.C:
-					default:
-					}
-				}
-				timer.Reset(j.sys.opts.Poll)
-				select {
-				case <-j.stopCh:
-					return
-				case <-j.table.Notify():
-				case <-timer.C:
-				}
 			}
-		}()
-	})
+			timer.Reset(j.sys.opts.Poll)
+			select {
+			case <-j.stopCh:
+				return
+			case <-sub.Ch():
+			case <-timer.C:
+			}
+			continue
+		}
+		// Local-only guard, not schedulable: pure event wait — no polling.
+		select {
+		case <-j.stopCh:
+			return
+		case <-sub.Ch():
+		}
+	}
+}
+
+// runDriverPoll is the seed driver loop, retained for the interpreter
+// ablation (Options.DisableCompiledPlan) and as the reference behaviour the
+// event-driven loop is tested against.
+func (j *Junction) runDriverPoll() {
+	defer j.driverWG.Done()
+	timer := time.NewTimer(j.sys.opts.Poll)
+	defer timer.Stop()
+	for {
+		select {
+		case <-j.stopCh:
+			return
+		default:
+		}
+		err := j.Schedule(context.Background())
+		if err == nil {
+			// Body ran; look again immediately — the guard may still
+			// hold (e.g. queued work).
+			continue
+		}
+		if !isNotSchedulable(err) && !errorsIsNotRunning(err) {
+			// Body failures are surfaced through the table's
+			// diagnostics hook if installed; the driver keeps going
+			// (a failed scheduling must not kill the junction).
+			j.sys.noteDriverError(j.FQName, err)
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(j.sys.opts.Poll)
+		select {
+		case <-j.stopCh:
+			return
+		case <-j.table.Notify():
+		case <-timer.C:
+		}
+	}
 }
 
 func (j *Junction) stopDriver() {
@@ -207,23 +285,49 @@ func errorsIsNotRunning(err error) bool {
 
 // --- driver error diagnostics ----------------------------------------------
 
-// noteDriverError records the most recent body failure per junction so tests
-// and operators can inspect crash loops; it is deliberately lossy.
+// DriverError is one recorded driver-loop body failure.
+type DriverError struct {
+	Junction string
+	Err      error
+}
+
+// driverLogCap bounds the driver error log: a crash-looping junction retries
+// every poll interval and must not grow the log without bound. The
+// per-junction latest-error map is unaffected by the cap.
+const driverLogCap = 256
+
+// noteDriverError records a body failure: the latest error per junction
+// (for LastDriverError) and an arrival-ordered log of every failure up to
+// driverLogCap (for DriverErrors). Driver diagnostics have their own mutex —
+// they must not contend with, or deadlock against, the ack hot path.
 func (s *System) noteDriverError(fq string, err error) {
-	s.ackMu.Lock() // reuse a small lock; contention is negligible
+	s.driverMu.Lock()
+	defer s.driverMu.Unlock()
 	if s.driverErrs == nil {
 		s.driverErrs = map[string]error{}
 	}
 	s.driverErrs[fq] = err
-	s.ackMu.Unlock()
+	if len(s.driverLog) < driverLogCap {
+		s.driverLog = append(s.driverLog, DriverError{Junction: fq, Err: err})
+	} else {
+		s.driverDropped++
+	}
 }
 
 // LastDriverError returns the most recent driver-loop failure for a
 // junction, if any.
 func (s *System) LastDriverError(fq string) error {
-	s.ackMu.Lock()
-	defer s.ackMu.Unlock()
+	s.driverMu.Lock()
+	defer s.driverMu.Unlock()
 	return s.driverErrs[fq]
+}
+
+// DriverErrors returns every recorded driver-loop failure in arrival order
+// (capped at driverLogCap entries) and how many were dropped past the cap.
+func (s *System) DriverErrors() (log []DriverError, dropped int) {
+	s.driverMu.Lock()
+	defer s.driverMu.Unlock()
+	return append([]DriverError(nil), s.driverLog...), s.driverDropped
 }
 
 // --- idx / subset state ------------------------------------------------------
@@ -276,6 +380,10 @@ func (j *Junction) SetIdx(name, elem string) error {
 			for _, e := range universe {
 				if e == elem {
 					j.idxs[name] = elem
+					// Reassigning an idx redirects which key an indexed
+					// formula reads without touching the table: wake every
+					// subscriber so event-driven guards and waits re-evaluate.
+					j.table.WakeAll()
 					return nil
 				}
 			}
@@ -333,6 +441,9 @@ func (j *Junction) SetSubset(name string, elems []string) error {
 		resolved = []string{}
 	}
 	j.subsets[name] = resolved
+	// Subset membership constrains idx resolution: wake subscribers just as
+	// SetIdx does.
+	j.table.WakeAll()
 	return nil
 }
 

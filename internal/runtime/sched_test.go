@@ -1,0 +1,237 @@
+package runtime
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"csaw/internal/dsl"
+	"csaw/internal/formula"
+)
+
+// buildWorker constructs a single-type program whose junction is guarded on
+// the local proposition Work; the body signals the per-instance hook and
+// retracts Work. Because the guard reads only local state, its driver must
+// run purely on keyed subscriptions — no poll timer.
+func buildWorker(n int, onRun func(instance string)) *dsl.Program {
+	p := dsl.NewProgram()
+	p.Type("tau").Junction("junction", dsl.Def(
+		dsl.Decls(dsl.InitProp{Name: "Work", Init: false}),
+		// Retract before signalling: the retract is a local write, and local
+		// priority drops queued updates to the same key — an injection raced
+		// between signal and retract would be silently superseded.
+		dsl.Retract{Prop: dsl.PR("Work")},
+		dsl.Host{Label: "run", Fn: func(ctx dsl.HostCtx) error {
+			onRun(ctx.Instance())
+			return nil
+		}},
+	).Guarded(formula.P("Work")))
+	starts := make([]dsl.Expr, n)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("w%d", i)
+		p.Instance(name, "tau")
+		starts[i] = dsl.Start{Instance: name}
+	}
+	p.SetMain(dsl.Par(starts))
+	return p
+}
+
+// TestLocalGuardWakesWithoutPoll pins the tentpole property of the
+// event-driven driver: a junction whose guard depends only on local state is
+// scheduled by the write that makes the guard true, not by the poll timer.
+// With Poll cranked to 2s, a polling driver cannot possibly react in under
+// half a second; the subscription wake lands in microseconds.
+func TestLocalGuardWakesWithoutPoll(t *testing.T) {
+	const pollInterval = 2 * time.Second
+	ran := make(chan string, 16)
+	s := mustSystem(t, buildWorker(1, func(inst string) { ran <- inst }), Options{Poll: pollInterval})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.RunMain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	j, err := s.Junction("w0", "junction")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 5; round++ {
+		start := time.Now()
+		j.InjectProp("Work", true)
+		select {
+		case <-ran:
+		case <-time.After(pollInterval / 4):
+			t.Fatalf("round %d: guard did not fire within %v — driver is polling, not event-driven", round, pollInterval/4)
+		}
+		if lat := time.Since(start); lat > pollInterval/4 {
+			t.Fatalf("round %d: wake latency %v, want ≪ %v", round, lat, pollInterval)
+		}
+	}
+}
+
+// TestInvokeWhenReadyWakesWithoutPoll is the same property for the blocked
+// InvokeWhenReady path: with a local-only guard it must subscribe, not spin
+// on the poll interval.
+func TestInvokeWhenReadyWakesWithoutPoll(t *testing.T) {
+	const pollInterval = 2 * time.Second
+	var runs atomic.Int32
+	p := dsl.NewProgram()
+	p.Type("tau").Junction("junction", dsl.Def(
+		dsl.Decls(dsl.InitProp{Name: "Work", Init: false}),
+		dsl.Retract{Prop: dsl.PR("Work")},
+		dsl.Host{Label: "run", Fn: func(dsl.HostCtx) error { runs.Add(1); return nil }},
+	).Guarded(formula.P("Work")).ManuallyScheduled())
+	p.Instance("w", "tau")
+	p.SetMain(dsl.Start{Instance: "w"})
+
+	s := mustSystem(t, p, Options{Poll: pollInterval})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.RunMain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	j, err := s.Junction("w", "junction")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.InvokeWhenReady(ctx, "w", "junction") }()
+	time.Sleep(20 * time.Millisecond) // let the invoke block on a false guard
+	start := time.Now()
+	j.InjectProp("Work", true)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(pollInterval / 4):
+		t.Fatalf("InvokeWhenReady still blocked after %v — it is waiting out the poll interval", pollInterval/4)
+	}
+	if lat := time.Since(start); lat > pollInterval/4 {
+		t.Fatalf("InvokeWhenReady wake latency %v, want ≪ %v", lat, pollInterval)
+	}
+	if runs.Load() != 1 {
+		t.Fatalf("body ran %d times, want 1", runs.Load())
+	}
+}
+
+// TestEventDriverStress hammers many event-driven instances concurrently:
+// each injector thread feeds its instance a new Work assertion as soon as the
+// previous one was processed, so every injection corresponds to exactly one
+// scheduling. Run under -race in CI.
+func TestEventDriverStress(t *testing.T) {
+	const (
+		instances = 8
+		rounds    = 50
+	)
+	type cell struct {
+		mu   sync.Mutex
+		runs int
+		done chan struct{}
+	}
+	cells := map[string]*cell{}
+	for i := 0; i < instances; i++ {
+		cells[fmt.Sprintf("w%d", i)] = &cell{done: make(chan struct{}, rounds)}
+	}
+	s := mustSystem(t, buildWorker(instances, func(inst string) {
+		c := cells[inst]
+		c.mu.Lock()
+		c.runs++
+		c.mu.Unlock()
+		c.done <- struct{}{}
+	}), Options{Poll: time.Second})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.RunMain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, instances)
+	for i := 0; i < instances; i++ {
+		inst := fmt.Sprintf("w%d", i)
+		j, err := s.Junction(inst, "junction")
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := cells[inst]
+			for r := 0; r < rounds; r++ {
+				j.InjectProp("Work", true)
+				select {
+				case <-c.done:
+				case <-ctx.Done():
+					errCh <- fmt.Errorf("%s: round %d never processed", inst, r)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	for inst, c := range cells {
+		c.mu.Lock()
+		runs := c.runs
+		c.mu.Unlock()
+		if runs != rounds {
+			t.Errorf("%s: processed %d rounds, want %d", inst, runs, rounds)
+		}
+	}
+	if log, dropped := s.DriverErrors(); len(log) != 0 || dropped != 0 {
+		t.Errorf("driver errors under stress: %v (dropped %d)", log, dropped)
+	}
+}
+
+// TestDriverErrorsLog pins the new diagnostics surface: every failing
+// scheduling is recorded (not just the last), the per-junction latest error
+// remains queryable, and the log is bounded.
+func TestDriverErrorsLog(t *testing.T) {
+	var fails atomic.Int32
+	p := dsl.NewProgram()
+	p.Type("tau").Junction("junction", dsl.Def(
+		dsl.Decls(dsl.InitProp{Name: "Work", Init: false}),
+		dsl.Host{Label: "boom", Fn: func(dsl.HostCtx) error {
+			fails.Add(1)
+			return fmt.Errorf("host failure %d", fails.Load())
+		}},
+	).Guarded(formula.P("Work")))
+	p.Instance("w", "tau")
+	p.SetMain(dsl.Start{Instance: "w"})
+
+	s := mustSystem(t, p, Options{Poll: 2 * time.Millisecond})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.RunMain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	j, err := s.Junction("w", "junction")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.InjectProp("Work", true)
+	deadline := time.Now().Add(5 * time.Second)
+	for fails.Load() < 3 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if fails.Load() < 3 {
+		t.Fatalf("junction failed %d times, want repeated crash-loop retries", fails.Load())
+	}
+	if err := s.LastDriverError("w::junction"); err == nil {
+		t.Fatal("LastDriverError lost the failure")
+	}
+	log, _ := s.DriverErrors()
+	if len(log) < 3 {
+		t.Fatalf("driver log holds %d entries, want every recorded failure", len(log))
+	}
+	for _, de := range log {
+		if de.Junction != "w::junction" || de.Err == nil {
+			t.Fatalf("malformed log entry %+v", de)
+		}
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"csaw/internal/compart"
 	"csaw/internal/dsl"
 	"csaw/internal/kv"
+	"csaw/internal/plan"
 )
 
 // Options configures a System.
@@ -44,6 +45,12 @@ type Options struct {
 	// DisableLocalPriority turns off the paper's local-priority rule
 	// (ablation only: remote updates then apply immediately on arrival).
 	DisableLocalPriority bool
+	// DisableCompiledPlan turns off the compiled execution path (ablation
+	// only): junction bodies are tree-interpreted by exec.go and drivers fall
+	// back to the coalesced-notify + poll scheduling loop, reproducing the
+	// pre-plan runtime. The equivalence suite runs every pattern under both
+	// modes.
+	DisableCompiledPlan bool
 	// Vet runs the static-analysis pass suite (internal/analysis) over the
 	// program at construction time and refuses to build a system whose
 	// program carries error-severity findings (unreachable junctions,
@@ -72,14 +79,23 @@ type System struct {
 	net  *compart.Network
 	opts Options
 
+	// plan is the program's static lowering, computed once at New; junctions
+	// build their per-start closure compilation on top of it.
+	plan *plan.Program
+
 	mu        sync.Mutex
 	instances map[string]*Instance
 	apps      map[string]any
 
-	ackSeq     atomic.Uint64
-	ackMu      sync.Mutex
-	ackWait    map[uint64]chan struct{}
-	driverErrs map[string]error
+	ackSeq  atomic.Uint64
+	ackMu   sync.Mutex
+	ackWait map[uint64]chan struct{}
+
+	// driverMu guards the driver diagnostics, separate from the ack hot path.
+	driverMu      sync.Mutex
+	driverErrs    map[string]error
+	driverLog     []DriverError
+	driverDropped int
 
 	closed atomic.Bool
 }
@@ -124,12 +140,17 @@ func New(p *dsl.Program, opts Options) (*System, error) {
 		prog:      p,
 		net:       net,
 		opts:      opts,
+		plan:      plan.Compile(p),
 		instances: map[string]*Instance{},
 		apps:      map[string]any{},
 		ackWait:   map[uint64]chan struct{}{},
 	}
 	return s, nil
 }
+
+// Plan exposes the program's static lowering (read-only; used by tests and
+// benchmarks).
+func (s *System) Plan() *plan.Program { return s.plan }
 
 // Net exposes the substrate network (for fault injection in tests and
 // benchmarks).
@@ -189,10 +210,10 @@ func (s *System) execMain(ctx context.Context, e dsl.Expr) (signal, error) {
 			}(i, c)
 		}
 		wg.Wait()
-		for _, err := range errs {
-			if err != nil {
-				return sigNone, err
-			}
+		// All branch failures matter: a parallel start composition can fail
+		// several ways at once, and dropping all but the first hides them.
+		if err := errors.Join(errs...); err != nil {
+			return sigNone, err
 		}
 		return sigNone, nil
 	case dsl.Start:
@@ -348,22 +369,48 @@ func (s *System) Invoke(ctx context.Context, instance, junction string) error {
 }
 
 // InvokeWhenReady blocks until the junction's guard is true (or ctx ends),
-// then schedules it.
+// then schedules it. On the compiled path it subscribes to the guard's
+// read-set and wakes only when one of those keys changes — with no polling
+// at all for local-only guards; the interpreter ablation keeps the seed's
+// notify + poll retry loop.
 func (s *System) InvokeWhenReady(ctx context.Context, instance, junction string) error {
 	j, err := s.Junction(instance, junction)
 	if err != nil {
 		return err
+	}
+	var sub *kv.Subscription
+	if j.comp != nil && j.comp.guardRS != nil {
+		// Subscribe before the first guard check so a wake racing the check
+		// is retained in the subscription's buffer, never lost.
+		sub = j.Table().Subscribe(j.comp.guardRS.Props, nil)
+		defer j.Table().Unsubscribe(sub)
 	}
 	for {
 		err := j.Schedule(ctx)
 		if err == nil || !isNotSchedulable(err) {
 			return err
 		}
-		select {
-		case <-ctx.Done():
-			return fmt.Errorf("%w: %v", ErrTimeout, ctx.Err())
-		case <-j.Table().Notify():
-		case <-time.After(s.opts.Poll):
+		switch {
+		case sub != nil && j.comp.guardRS.LocalOnly():
+			select {
+			case <-ctx.Done():
+				return fmt.Errorf("%w: %v", ErrTimeout, ctx.Err())
+			case <-sub.Ch():
+			}
+		case sub != nil:
+			select {
+			case <-ctx.Done():
+				return fmt.Errorf("%w: %v", ErrTimeout, ctx.Err())
+			case <-sub.Ch():
+			case <-time.After(s.opts.Poll):
+			}
+		default:
+			select {
+			case <-ctx.Done():
+				return fmt.Errorf("%w: %v", ErrTimeout, ctx.Err())
+			case <-j.Table().Notify():
+			case <-time.After(s.opts.Poll):
+			}
 		}
 	}
 }
