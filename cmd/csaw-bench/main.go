@@ -6,10 +6,14 @@
 // Usage:
 //
 //	csaw-bench [-full] [-run Fig23a,Transport-recovery] [-ticks N] [-tick 10ms] [-summary]
+//	           [-trace events.jsonl] [-metrics] [-validate-trace events.jsonl]
 //
 // Without flags it runs every experiment with the laptop-fast configuration
 // and prints full series; -summary prints per-series digests instead.
-// -list prints every experiment ID.
+// -list prints every experiment ID. -trace streams runtime scheduling events
+// as JSONL to a file ("-" for stdout); -metrics prints per-junction counters
+// and latency digests after each experiment; -validate-trace checks a JSONL
+// trace file and exits (the CI smoke step).
 package main
 
 import (
@@ -20,24 +24,63 @@ import (
 	"time"
 
 	"csaw/internal/bench"
+	"csaw/internal/obsv"
 )
 
 func main() {
 	var (
-		full    = flag.Bool("full", false, "paper-scale run (120 ticks of 100ms)")
-		run     = flag.String("run", "", "comma-separated experiment IDs (default: all)")
-		ticks   = flag.Int("ticks", 0, "override experiment length in ticks")
-		tick    = flag.Duration("tick", 0, "override tick duration (one paper-second)")
-		summary = flag.Bool("summary", false, "print per-series digests instead of full series")
-		list    = flag.Bool("list", false, "list experiment IDs and exit")
+		full     = flag.Bool("full", false, "paper-scale run (120 ticks of 100ms)")
+		run      = flag.String("run", "", "comma-separated experiment IDs (default: all)")
+		ticks    = flag.Int("ticks", 0, "override experiment length in ticks")
+		tick     = flag.Duration("tick", 0, "override tick duration (one paper-second)")
+		summary  = flag.Bool("summary", false, "print per-series digests instead of full series")
+		list     = flag.Bool("list", false, "list experiment IDs and exit")
+		trace    = flag.String("trace", "", "stream runtime trace events as JSONL to this file (\"-\" for stdout)")
+		metrics  = flag.Bool("metrics", false, "print per-junction metrics after each experiment")
+		validate = flag.String("validate-trace", "", "validate a JSONL trace file and exit")
 	)
 	flag.Parse()
+
+	if *validate != "" {
+		f, err := os.Open(*validate)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		n, err := obsv.ValidateJSONL(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: invalid after %d events: %v\n", *validate, n, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: %d valid trace events\n", *validate, n)
+		return
+	}
 
 	if *list {
 		for _, e := range bench.All() {
 			fmt.Println(e.ID)
 		}
 		return
+	}
+
+	if *trace != "" {
+		out := os.Stdout
+		if *trace != "-" {
+			f, err := os.Create(*trace)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		sink := obsv.NewJSONLSink(out)
+		defer sink.Flush()
+		bench.SetTraceSink(sink)
+	}
+	if *metrics {
+		bench.EnableMetrics(true)
 	}
 
 	cfg := bench.Defaults()
@@ -77,6 +120,13 @@ func main() {
 			fmt.Print(r.Summary())
 		} else {
 			fmt.Print(r.Render())
+		}
+		if *metrics {
+			for _, m := range bench.DrainMetrics() {
+				m.Render(os.Stdout)
+			}
+		} else {
+			bench.DrainMetrics()
 		}
 		fmt.Printf("(%s in %s)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}

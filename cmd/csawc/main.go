@@ -29,6 +29,7 @@ import (
 	"csaw/internal/dsl"
 	"csaw/internal/events"
 	"csaw/internal/patterns"
+	"csaw/internal/plan"
 )
 
 func main() {
@@ -89,6 +90,8 @@ func main() {
 		fmt.Printf("  types:     %d (%v)\n", len(p.Types), p.TypeNames())
 		fmt.Printf("  instances: %d (%v)\n", len(p.Instances), p.InstanceNames())
 		fmt.Printf("  junctions: %d, communication edges: %d\n", len(t.Nodes), len(t.Edges))
+		event, polled, invoked := schedulingModes(p)
+		fmt.Printf("  scheduling: %d event-driven, %d with poll fallback, %d app-invoked\n", event, polled, invoked)
 		s, err := events.DenoteProgram(p, events.Budget{Unfold: 1})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "csawc: semantics: %v\n", err)
@@ -96,6 +99,25 @@ func main() {
 		}
 		fmt.Printf("  event structure: %d events (axioms hold)\n", s.Len())
 	}
+}
+
+// schedulingModes classifies each junction by how the runtime will drive it,
+// from the compiled plan's guard read-sets: a local-only guard schedules
+// purely on keyed KV subscription wakes; a guard consulting remote state
+// keeps the poll timer as a fallback; an unguarded junction only runs when
+// the application invokes it.
+func schedulingModes(p *dsl.Program) (event, polled, invoked int) {
+	for _, pj := range plan.Compile(p).Junctions {
+		switch {
+		case pj.Guard == nil:
+			invoked++
+		case pj.Guard.LocalOnly():
+			event++
+		default:
+			polled++
+		}
+	}
+	return event, polled, invoked
 }
 
 // archReport is one architecture's entry in the JSON vet report.

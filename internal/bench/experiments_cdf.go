@@ -191,6 +191,9 @@ func Fig26c(cfg Config) (Result, error) {
 	for tick := 0; tick < cfg.Ticks; tick++ {
 		for r := 0; r < reqPerTick; r++ {
 			class := weightedPick(rng, weights)
+			if class < 0 {
+				return Result{}, fmt.Errorf("bench: no positive class weight in %v", weights)
+			}
 			v := workload.SizedValue(rng, classes[class])
 			key := fmt.Sprintf("size:%06d", keyID)
 			keyID++

@@ -141,6 +141,9 @@ func Fig23b(cfg Config) (Result, error) {
 	for tick := 0; tick < cfg.Ticks; tick++ {
 		for r := 0; r < reqPerTick; r++ {
 			shard := weightedPick(rng, weights)
+			if shard < 0 {
+				return Result{}, fmt.Errorf("bench: no positive shard weight in %v", weights)
+			}
 			pool := pools[shard%cfg.Shards]
 			key := pool[rng.Intn(len(pool))]
 			if err := sr.Set(ctx, key, val); err != nil {

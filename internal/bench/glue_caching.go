@@ -122,7 +122,7 @@ func NewCachedRedis(enabled bool, timeout time.Duration) (*CachedRedis, error) {
 			return nil
 		},
 	})
-	sys, err := runtime.New(prog, runtime.Options{})
+	sys, err := newSystem(prog)
 	if err != nil {
 		return nil, err
 	}

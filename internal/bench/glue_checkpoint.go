@@ -53,7 +53,7 @@ func NewCheckpointedApp(target Snapshotter, timeout time.Duration) (*Checkpointe
 			return nil
 		},
 	})
-	sys, err := runtime.New(prog, runtime.Options{})
+	sys, err := newSystem(prog)
 	if err != nil {
 		return nil, err
 	}

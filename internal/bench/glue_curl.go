@@ -65,7 +65,7 @@ func NewAuditedCurl(auditLink minicurl.Link, timeout time.Duration) (*AuditedCur
 			return nil
 		},
 	})
-	sys, err := runtime.New(prog, runtime.Options{})
+	sys, err := newSystem(prog)
 	if err != nil {
 		return nil, err
 	}

@@ -139,7 +139,7 @@ func NewShardedRedisClasses(n int, mode ShardMode, classes []workload.SizeClass,
 		},
 	})
 
-	sys, err := runtime.New(prog, runtime.Options{})
+	sys, err := newSystem(prog)
 	if err != nil {
 		return nil, err
 	}

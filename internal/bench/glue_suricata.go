@@ -84,7 +84,7 @@ func NewShardedSuricata(n int, timeout time.Duration) (*ShardedSuricata, error) 
 			return nil
 		},
 	})
-	sys, err := runtime.New(prog, runtime.Options{})
+	sys, err := newSystem(prog)
 	if err != nil {
 		return nil, err
 	}

@@ -5,19 +5,36 @@ import "math/rand"
 // newRng builds a deterministic RNG for an experiment.
 func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
 
-// weightedPick draws an index with the given weights.
+// weightedPick draws an index proportionally to the given weights.
+// Non-positive weights are never picked. With no weights, or no positive
+// weight, there is no meaningful draw and it returns -1 — callers must treat
+// that as "no candidates" rather than index with it. (The previous version
+// panicked downstream on an empty slice and silently picked index 0 when
+// every weight was zero.)
 func weightedPick(r *rand.Rand, weights []float64) int {
 	total := 0.0
 	for _, w := range weights {
-		total += w
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		return -1
 	}
 	u := r.Float64() * total
 	acc := 0.0
+	last := -1
 	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		last = i
 		acc += w
 		if u <= acc {
 			return i
 		}
 	}
-	return len(weights) - 1
+	// Float rounding can leave u a hair above the accumulated total; the
+	// last positive-weight index absorbs it.
+	return last
 }

@@ -1,0 +1,55 @@
+package bench
+
+import "testing"
+
+func TestWeightedPick(t *testing.T) {
+	cases := []struct {
+		name    string
+		weights []float64
+		wantSet map[int]bool // indices the pick must come from; nil means want -1
+	}{
+		{name: "empty", weights: nil, wantSet: nil},
+		{name: "all zero", weights: []float64{0, 0, 0}, wantSet: nil},
+		{name: "all negative", weights: []float64{-1, -2}, wantSet: nil},
+		{name: "single", weights: []float64{3}, wantSet: map[int]bool{0: true}},
+		{name: "zero head", weights: []float64{0, 0, 5}, wantSet: map[int]bool{2: true}},
+		{name: "zero tail", weights: []float64{5, 0, 0}, wantSet: map[int]bool{0: true}},
+		{name: "negative skipped", weights: []float64{-4, 2, 0}, wantSet: map[int]bool{1: true}},
+		{name: "mixed", weights: []float64{1, 0, 1}, wantSet: map[int]bool{0: true, 2: true}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := newRng(1)
+			for i := 0; i < 200; i++ {
+				got := weightedPick(r, tc.weights)
+				if tc.wantSet == nil {
+					if got != -1 {
+						t.Fatalf("weightedPick(%v) = %d, want -1", tc.weights, got)
+					}
+					continue
+				}
+				if !tc.wantSet[got] {
+					t.Fatalf("weightedPick(%v) = %d, outside %v", tc.weights, got, tc.wantSet)
+				}
+			}
+		})
+	}
+}
+
+// TestWeightedPickDistribution sanity-checks proportionality: with weights
+// 3:1 the first index should win roughly three quarters of draws.
+func TestWeightedPickDistribution(t *testing.T) {
+	r := newRng(42)
+	weights := []float64{3, 1}
+	n := 10000
+	first := 0
+	for i := 0; i < n; i++ {
+		if weightedPick(r, weights) == 0 {
+			first++
+		}
+	}
+	frac := float64(first) / float64(n)
+	if frac < 0.70 || frac > 0.80 {
+		t.Fatalf("index 0 picked %.3f of draws, want ~0.75", frac)
+	}
+}

@@ -55,6 +55,12 @@ type ReconnectConfig struct {
 	// Dial overrides the connection factory (default: net.Dial("tcp", addr)).
 	// Lets tests and non-TCP deployments (unix sockets) reuse the machinery.
 	Dial func() (net.Conn, error)
+	// Jitter overrides the jitter source: each call returns a uniform value
+	// in [0, 1) that scales BackoffJitter for one redial delay. The default
+	// is a clock-seeded RNG; injecting a fixed source makes backoff
+	// schedules deterministic in tests. Must be safe for use from the
+	// client's connection goroutine.
+	Jitter func() float64
 }
 
 func (c *ReconnectConfig) fill(addr string) {
@@ -78,6 +84,15 @@ func (c *ReconnectConfig) fill(addr string) {
 	}
 	if c.Dial == nil {
 		c.Dial = func() (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	if c.Jitter == nil {
+		rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+		var mu sync.Mutex
+		c.Jitter = func() float64 {
+			mu.Lock()
+			defer mu.Unlock()
+			return rng.Float64()
+		}
 	}
 }
 
@@ -126,13 +141,18 @@ type ReconnectClient struct {
 	wg    sync.WaitGroup
 	once  sync.Once
 
+	// sendMu excludes Send during Close's final drain: Close takes the write
+	// side before counting leftover queue entries as Dropped, so no frame can
+	// slip into the queue after the drain and escape the stats conservation
+	// invariant (Enqueued == Sent + Dropped at quiescence).
+	sendMu sync.RWMutex
+
 	enqueued, sent, dropped atomic.Uint64
 	dials, connects         atomic.Uint64
 	hbSent, hbAcked         atomic.Uint64
 	connected               atomic.Bool
 
 	mu        sync.Mutex
-	rng       *rand.Rand
 	sendLat   LatencySummary
 	listeners []func(up bool)
 }
@@ -147,7 +167,6 @@ func DialReconnect(addr string, cfg ReconnectConfig) *ReconnectClient {
 		cfg:   cfg,
 		queue: make(chan outFrame, cfg.QueueSize),
 		done:  make(chan struct{}),
-		rng:   rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
 	c.wg.Add(1)
 	go c.run()
@@ -165,6 +184,11 @@ func (c *ReconnectClient) Send(msg Message) error {
 	if err != nil {
 		return err
 	}
+	c.sendMu.RLock()
+	defer c.sendMu.RUnlock()
+	// done is re-checked as a case of the enqueue select below: the
+	// standalone check alone left a window where a Send racing Close could
+	// enqueue a frame after the closed check passed.
 	select {
 	case <-c.done:
 		return ErrClientClosed
@@ -174,6 +198,8 @@ func (c *ReconnectClient) Send(msg Message) error {
 	case c.queue <- outFrame{body: body, at: time.Now()}:
 		c.enqueued.Add(1)
 		return nil
+	case <-c.done:
+		return ErrClientClosed
 	default:
 		c.dropped.Add(1)
 		return ErrQueueFull
@@ -213,9 +239,14 @@ func (c *ReconnectClient) Notify(f func(up bool)) {
 }
 
 // Close stops the client. Messages still queued are counted as Dropped.
+// After Close returns, Send fails with ErrClientClosed.
 func (c *ReconnectClient) Close() error {
 	c.once.Do(func() { close(c.done) })
 	c.wg.Wait()
+	// Excluding concurrent Sends during the drain guarantees every frame a
+	// racing Send managed to enqueue is still counted here.
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
 	for {
 		select {
 		case <-c.queue:
@@ -237,12 +268,16 @@ func (c *ReconnectClient) setConnected(up bool) {
 	}
 }
 
-// backoffDelay computes the next redial delay with jitter.
-func (c *ReconnectClient) backoffDelay(cur time.Duration) time.Duration {
-	c.mu.Lock()
-	j := c.rng.Float64()
-	c.mu.Unlock()
-	return cur + time.Duration(float64(cur)*c.cfg.BackoffJitter*j)
+// nextBackoff advances the redial schedule after a failed dial: it returns
+// the jittered delay to sleep now and the base backoff for the next failure.
+// Factored out of run so tests can pin the schedule with an injected Jitter.
+func (c *ReconnectClient) nextBackoff(cur time.Duration) (delay, next time.Duration) {
+	delay = cur + time.Duration(float64(cur)*c.cfg.BackoffJitter*c.cfg.Jitter())
+	next = time.Duration(float64(cur) * c.cfg.BackoffFactor)
+	if next > c.cfg.BackoffMax {
+		next = c.cfg.BackoffMax
+	}
+	return delay, next
 }
 
 func (c *ReconnectClient) run() {
@@ -257,15 +292,13 @@ func (c *ReconnectClient) run() {
 		c.dials.Add(1)
 		conn, err := c.cfg.Dial()
 		if err != nil {
+			delay, next := c.nextBackoff(backoff)
 			select {
 			case <-c.done:
 				return
-			case <-time.After(c.backoffDelay(backoff)):
+			case <-time.After(delay):
 			}
-			backoff = time.Duration(float64(backoff) * c.cfg.BackoffFactor)
-			if backoff > c.cfg.BackoffMax {
-				backoff = c.cfg.BackoffMax
-			}
+			backoff = next
 			continue
 		}
 		backoff = c.cfg.BackoffMin

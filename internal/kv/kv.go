@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"csaw/internal/formula"
 )
@@ -118,6 +119,15 @@ type Table struct {
 	// a subscription is woken only when one of its registered keys changes.
 	subs    map[int]*Subscription
 	nextSid int
+
+	// wakes counts keyed subscription wake deliveries (tokens placed on
+	// subscription channels), for the observability layer.
+	wakes atomic.Uint64
+	// wakeHook, when set, is invoked after a key mutation woke at least one
+	// subscriber, with the key and how many were woken. It runs under the
+	// table lock: implementations must be fast and must not call back into
+	// the table.
+	wakeHook func(kind UpdateKind, key string, woken int)
 }
 
 // NewTable returns an empty table with no declared names.
@@ -220,9 +230,17 @@ func (t *Table) Unsubscribe(s *Subscription) {
 // wakeKeyLocked wakes every subscription registered for the key. Sends are
 // non-blocking (capacity-one channels), so calling under t.mu is safe.
 func (t *Table) wakeKeyLocked(kind UpdateKind, key string) {
+	woken := 0
 	for _, s := range t.subs {
 		if s.wants(kind, key) {
 			s.wake()
+			woken++
+		}
+	}
+	if woken > 0 {
+		t.wakes.Add(uint64(woken))
+		if t.wakeHook != nil {
+			t.wakeHook(kind, key, woken)
 		}
 	}
 }
@@ -236,8 +254,22 @@ func (t *Table) WakeAll() {
 	for _, s := range t.subs {
 		s.wake()
 	}
+	t.wakes.Add(uint64(len(t.subs)))
 	t.mu.Unlock()
 	t.ping()
+}
+
+// WakeCount reports how many keyed subscription wakes this table has
+// delivered since creation.
+func (t *Table) WakeCount() uint64 { return t.wakes.Load() }
+
+// SetWakeHook installs the observability callback invoked (under the table
+// lock) whenever a key mutation wakes at least one keyed subscriber. Install
+// it before the table sees concurrent use; a nil hook disables it.
+func (t *Table) SetWakeHook(h func(kind UpdateKind, key string, woken int)) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.wakeHook = h
 }
 
 // DeclareProp declares a proposition with its initial value ("init prop ¬P"

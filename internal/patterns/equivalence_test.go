@@ -10,6 +10,7 @@ import (
 
 	"csaw/internal/dsl"
 	"csaw/internal/formula"
+	"csaw/internal/obsv"
 	"csaw/internal/runtime"
 )
 
@@ -167,7 +168,13 @@ type equivResult struct {
 
 func runEntryOnce(t *testing.T, entry CatalogueEntry, interpreted bool) equivResult {
 	t.Helper()
-	sys := startSystem(t, entry.Build(), runtime.Options{DisableCompiledPlan: interpreted})
+	// Tracing stays on through the whole suite: equivalence must hold with
+	// the observability layer active, and the sink absorbs both paths'
+	// event streams without influencing them.
+	sys := startSystem(t, entry.Build(), runtime.Options{
+		DisableCompiledPlan: interpreted,
+		Trace:               obsv.NewRingSink(8192),
+	})
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := sys.RunMain(ctx); err != nil {

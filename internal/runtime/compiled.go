@@ -20,6 +20,7 @@ import (
 	"csaw/internal/dsl"
 	"csaw/internal/formula"
 	"csaw/internal/kv"
+	"csaw/internal/obsv"
 	"csaw/internal/plan"
 )
 
@@ -140,11 +141,14 @@ func (j *Junction) compileExpr(e dsl.Expr) step {
 		}
 		return func(ctx context.Context) (signal, error) {
 			s := snap()
+			j.noteTxn(obsv.EvTxnBegin)
 			sig, err := runSteps(ctx, steps)
 			if err != nil {
 				j.table.Restore(s)
+				j.noteTxn(obsv.EvTxnRollback)
 				return sigNone, err
 			}
+			j.noteTxn(obsv.EvTxnCommit)
 			if sig == sigReturn {
 				sig = sigNone
 			}
@@ -221,7 +225,7 @@ func (j *Junction) compileExpr(e dsl.Expr) step {
 			if to == j.FQName {
 				return sigNone, fmt.Errorf("runtime: %s: write to self", j.FQName)
 			}
-			if err := j.sys.sendUpdate(ctx, j.FQName, to, compart.KindData, n.Data, false, payload); err != nil {
+			if err := j.sys.sendUpdate(ctx, j, to, compart.KindData, n.Data, false, payload); err != nil {
 				return sigNone, err
 			}
 			return sigNone, nil
@@ -415,7 +419,7 @@ func (j *Junction) compilePropUpdate(target dsl.JunctionRef, pr dsl.PropRef, val
 		if to == j.FQName {
 			return sigNone, fmt.Errorf("runtime: %s: assert/retract to self — use the local form", j.FQName)
 		}
-		if err := j.sys.sendUpdate(ctx, j.FQName, to, compart.KindProp, name, value, nil); err != nil {
+		if err := j.sys.sendUpdate(ctx, j, to, compart.KindProp, name, value, nil); err != nil {
 			return sigNone, err
 		}
 		return sigNone, nil
@@ -467,6 +471,7 @@ func (j *Junction) idxKeyMap(base, idx string) map[string]string {
 // interpreter's substituteIdx.
 func (j *Junction) compileWait(n dsl.Wait) step {
 	wp := plan.CompileWait(j.pj.Info, n)
+	condText := n.Cond.String()
 	var eval func() formula.Truth
 	if wp.Static {
 		eval = j.compileFormula(n.Cond)
@@ -483,13 +488,16 @@ func (j *Junction) compileWait(n dsl.Wait) step {
 		defer j.table.EndWait(handle)
 		sub := j.table.Subscribe(wp.Reads.Props, wp.Reads.Data)
 		defer j.table.Unsubscribe(sub)
+		armed := j.noteWaitArmed(condText)
 		for {
 			if ev() == formula.True {
+				j.noteWaitAdmitted(condText, armed)
 				return sigNone, nil
 			}
 			if wp.Reads.Remote {
 				select {
 				case <-ctx.Done():
+					j.noteWaitTimeout(condText)
 					return sigNone, fmt.Errorf("%w: wait %s", ErrTimeout, n.Cond)
 				case <-sub.Ch():
 				case <-time.After(j.sys.opts.Poll):
@@ -497,6 +505,7 @@ func (j *Junction) compileWait(n dsl.Wait) step {
 			} else {
 				select {
 				case <-ctx.Done():
+					j.noteWaitTimeout(condText)
 					return sigNone, fmt.Errorf("%w: wait %s", ErrTimeout, n.Cond)
 				case <-sub.Ch():
 				}

@@ -18,6 +18,7 @@ import (
 	"csaw/internal/dsl"
 	"csaw/internal/formula"
 	"csaw/internal/kv"
+	"csaw/internal/obsv"
 )
 
 // signal is the control-flow outcome of executing an expression; failures
@@ -82,11 +83,14 @@ func (j *Junction) exec(ctx context.Context, e dsl.Expr) (signal, error) {
 
 	case dsl.Txn:
 		snap := j.table.Snapshot()
+		j.noteTxn(obsv.EvTxnBegin)
 		sig, err := j.exec(ctx, dsl.Seq(n.Body))
 		if err != nil {
 			j.table.Restore(snap)
+			j.noteTxn(obsv.EvTxnRollback)
 			return sigNone, err
 		}
+		j.noteTxn(obsv.EvTxnCommit)
 		if sig == sigReturn {
 			sig = sigNone
 		}
@@ -148,7 +152,7 @@ func (j *Junction) exec(ctx context.Context, e dsl.Expr) (signal, error) {
 		if to == j.FQName {
 			return sigNone, fmt.Errorf("runtime: %s: write to self", j.FQName)
 		}
-		if err := j.sys.sendUpdate(ctx, j.FQName, to, compart.KindData, n.Data, false, payload); err != nil {
+		if err := j.sys.sendUpdate(ctx, j, to, compart.KindData, n.Data, false, payload); err != nil {
 			return sigNone, err
 		}
 		return sigNone, nil
@@ -264,7 +268,7 @@ func (j *Junction) execPropUpdate(ctx context.Context, target dsl.JunctionRef, p
 	if to == j.FQName {
 		return sigNone, fmt.Errorf("runtime: %s: assert/retract to self — use the local form", j.FQName)
 	}
-	if err := j.sys.sendUpdate(ctx, j.FQName, to, compart.KindProp, name, value, nil); err != nil {
+	if err := j.sys.sendUpdate(ctx, j, to, compart.KindProp, name, value, nil); err != nil {
 		return sigNone, err
 	}
 	return sigNone, nil
@@ -278,12 +282,16 @@ func (j *Junction) execWait(ctx context.Context, n dsl.Wait) (signal, error) {
 	ws := kv.NewWaitSet(cond, n.Data)
 	handle := j.table.BeginWait(ws)
 	defer j.table.EndWait(handle)
+	condText := cond.String()
+	armed := j.noteWaitArmed(condText)
 	for {
 		if cond.Eval(j.env()) == formula.True {
+			j.noteWaitAdmitted(condText, armed)
 			return sigNone, nil
 		}
 		select {
 		case <-ctx.Done():
+			j.noteWaitTimeout(condText)
 			return sigNone, fmt.Errorf("%w: wait %s", ErrTimeout, n.Cond)
 		case <-j.table.Notify():
 		case <-time.After(j.sys.opts.Poll):

@@ -10,6 +10,7 @@ import (
 	"csaw/internal/dsl"
 	"csaw/internal/formula"
 	"csaw/internal/kv"
+	"csaw/internal/obsv"
 	"csaw/internal/plan"
 )
 
@@ -24,6 +25,11 @@ type Junction struct {
 	FQName string
 
 	table *kv.Table
+
+	// met is the always-on observability counter block for this junction,
+	// cached at construction so the scheduling path never takes the registry
+	// lock.
+	met *obsv.JunctionMetrics
 
 	idxMu   sync.Mutex
 	sets    map[string][]string
@@ -56,6 +62,13 @@ func newJunction(s *System, inst *Instance, def *dsl.JunctionDef) *Junction {
 		idxs:    map[string]string{},
 		stopCh:  make(chan struct{}),
 	}
+	j.met = s.obs.Junction(j.FQName)
+	j.table.SetWakeHook(func(kind kv.UpdateKind, key string, woken int) {
+		j.met.SubWakes.Add(uint64(woken))
+		if s.obs.Tracing() {
+			s.obs.Emit(obsv.Event{Kind: obsv.EvSubWake, Junction: j.FQName, Key: key, N: int64(woken)})
+		}
+	})
 	for _, d := range def.Decls {
 		switch n := d.(type) {
 		case dsl.InitProp:
@@ -125,11 +138,36 @@ func (j *Junction) Schedule(ctx context.Context) error {
 	if !j.inst.running.Load() {
 		return fmt.Errorf("%w: instance %q", ErrNotRunning, j.inst.Name)
 	}
+	obs := j.sys.obs
+	tracing := obs.Tracing()
 	if !j.sys.opts.DisableLocalPriority {
-		j.table.ApplyPending()
+		if applied := j.table.ApplyPending(); applied > 0 {
+			j.met.RemoteApplied.Add(uint64(applied))
+			if tracing {
+				obs.Emit(obsv.Event{Kind: obsv.EvRemoteApplied, Junction: j.FQName, N: int64(applied)})
+			}
+		}
 	}
-	if j.def.Guard != nil && j.guardTruth() != formula.True {
-		return fmt.Errorf("%w: %s guard %s", ErrNotSchedulable, j.FQName, j.def.Guard)
+	if j.def.Guard != nil {
+		truth := j.guardTruth()
+		if tracing {
+			obs.Emit(obsv.Event{Kind: obsv.EvGuardEval, Junction: j.FQName, Truth: truth.String()})
+		}
+		if truth != formula.True {
+			j.met.NotSchedulable.Add(1)
+			if tracing {
+				obs.Emit(obsv.Event{Kind: obsv.EvSchedNotSchedulable, Junction: j.FQName})
+			}
+			return fmt.Errorf("%w: %s guard %s", ErrNotSchedulable, j.FQName, j.def.Guard)
+		}
+	}
+	j.met.Schedulings.Add(1)
+	var start time.Time
+	if obs.Timing() {
+		start = time.Now()
+	}
+	if tracing {
+		obs.Emit(obsv.Event{Kind: obsv.EvSchedStart, Junction: j.FQName})
 	}
 
 	// retry branches back to the beginning of the junction, at most
@@ -137,13 +175,35 @@ func (j *Junction) Schedule(ctx context.Context) error {
 	for attempt := 0; ; attempt++ {
 		sig, err := j.runBody(ctx)
 		if err != nil {
+			j.met.Errors.Add(1)
+			if tracing {
+				obs.Emit(obsv.Event{Kind: obsv.EvSchedError, Junction: j.FQName, Err: err.Error()})
+			}
 			return fmt.Errorf("%s: %w", j.FQName, err)
 		}
 		if sig == sigRetry {
+			j.met.Retries.Add(1)
+			if tracing {
+				obs.Emit(obsv.Event{Kind: obsv.EvRetry, Junction: j.FQName, N: int64(attempt + 1)})
+			}
 			if attempt+1 >= j.def.RetryLimit {
+				j.met.Errors.Add(1)
+				if tracing {
+					obs.Emit(obsv.Event{Kind: obsv.EvSchedError, Junction: j.FQName, Err: ErrRetryExhausted.Error()})
+				}
 				return fmt.Errorf("%s: %w (%d attempts)", j.FQName, ErrRetryExhausted, attempt+1)
 			}
 			continue
+		}
+		j.met.Fires.Add(1)
+		if !start.IsZero() {
+			d := time.Since(start)
+			j.met.Sched.Observe(d)
+			if tracing {
+				obs.Emit(obsv.Event{Kind: obsv.EvSchedFire, Junction: j.FQName, Dur: d})
+			}
+		} else if tracing {
+			obs.Emit(obsv.Event{Kind: obsv.EvSchedFire, Junction: j.FQName})
 		}
 		return nil
 	}
@@ -206,7 +266,9 @@ func (j *Junction) runDriverEvent() {
 			case <-j.stopCh:
 				return
 			case <-sub.Ch():
+				j.noteWake(true)
 			case <-timer.C:
+				j.noteWake(false)
 			}
 			continue
 		}
@@ -215,7 +277,74 @@ func (j *Junction) runDriverEvent() {
 		case <-j.stopCh:
 			return
 		case <-sub.Ch():
+			j.noteWake(true)
 		}
+	}
+}
+
+// noteWake records one driver wake-up: event-driven (a subscription or
+// notify delivery) or poll-driven (the fallback timer).
+func (j *Junction) noteWake(event bool) {
+	if event {
+		j.met.WakesEvent.Add(1)
+	} else {
+		j.met.WakesPoll.Add(1)
+	}
+	if j.sys.obs.Tracing() {
+		k := obsv.EvDriverWakePoll
+		if event {
+			k = obsv.EvDriverWakeEvent
+		}
+		j.sys.obs.Emit(obsv.Event{Kind: k, Junction: j.FQName})
+	}
+}
+
+// noteTxn records one transaction lifecycle step; shared by the interpreter
+// and the compiled path so both report identical event sequences.
+func (j *Junction) noteTxn(k obsv.Kind) {
+	switch k {
+	case obsv.EvTxnCommit:
+		j.met.TxnCommits.Add(1)
+	case obsv.EvTxnRollback:
+		j.met.TxnRollbacks.Add(1)
+	}
+	if j.sys.obs.Tracing() {
+		j.sys.obs.Emit(obsv.Event{Kind: k, Junction: j.FQName})
+	}
+}
+
+// noteWaitArmed records a wait arming and returns the blocked-time start
+// (zero when timing is off).
+func (j *Junction) noteWaitArmed(cond string) time.Time {
+	j.met.WaitsArmed.Add(1)
+	var start time.Time
+	if j.sys.obs.Timing() {
+		start = time.Now()
+	}
+	if j.sys.obs.Tracing() {
+		j.sys.obs.Emit(obsv.Event{Kind: obsv.EvWaitArmed, Junction: j.FQName, Key: cond})
+	}
+	return start
+}
+
+// noteWaitAdmitted records a wait whose formula became true (Dur = blocked
+// time when timing was on at arming).
+func (j *Junction) noteWaitAdmitted(cond string, start time.Time) {
+	j.met.WaitsAdmitted.Add(1)
+	if j.sys.obs.Tracing() {
+		var d time.Duration
+		if !start.IsZero() {
+			d = time.Since(start)
+		}
+		j.sys.obs.Emit(obsv.Event{Kind: obsv.EvWaitAdmitted, Junction: j.FQName, Key: cond, Dur: d})
+	}
+}
+
+// noteWaitTimeout records a wait cut short by the enclosing deadline.
+func (j *Junction) noteWaitTimeout(cond string) {
+	j.met.WaitsTimedOut.Add(1)
+	if j.sys.obs.Tracing() {
+		j.sys.obs.Emit(obsv.Event{Kind: obsv.EvWaitTimeout, Junction: j.FQName, Key: cond})
 	}
 }
 
@@ -255,7 +384,9 @@ func (j *Junction) runDriverPoll() {
 		case <-j.stopCh:
 			return
 		case <-j.table.Notify():
+			j.noteWake(true)
 		case <-timer.C:
+			j.noteWake(false)
 		}
 	}
 }

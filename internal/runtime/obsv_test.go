@@ -1,0 +1,270 @@
+package runtime
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"csaw/internal/dsl"
+	"csaw/internal/formula"
+	"csaw/internal/obsv"
+)
+
+// workerProgram: a guarded junction that fires whenever Req holds, retracts
+// it and counts the work — the minimal shape of the paper's served-requests
+// experiments (Fig 23a).
+func workerProgram(served *atomic.Int32) *dsl.Program {
+	p := dsl.NewProgram()
+	p.Type("t").Junction("serve", dsl.Def(
+		dsl.Decls(dsl.InitProp{Name: "Req", Init: false}),
+		dsl.Retract{Prop: dsl.PR("Req")},
+		dsl.Host{Label: "work", Fn: func(dsl.HostCtx) error { served.Add(1); return nil }},
+	).Guarded(formula.P("Req")))
+	p.Instance("w", "t")
+	p.SetMain(dsl.Start{Instance: "w"})
+	return p
+}
+
+// kindSeq extracts the (kind, junction) pairs of a ring sink in emission
+// order, keeping only the given kinds.
+func kindSeq(r *obsv.RingSink, keep ...obsv.Kind) []obsv.Event {
+	want := map[obsv.Kind]bool{}
+	for _, k := range keep {
+		want[k] = true
+	}
+	var out []obsv.Event
+	for _, e := range r.Events() {
+		if want[e.Kind] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// expectSubsequence asserts that pattern appears in events as an ordered
+// subsequence (other events may interleave).
+func expectSubsequence(t *testing.T, events []obsv.Event, pattern []obsv.Event) {
+	t.Helper()
+	i := 0
+	for _, e := range events {
+		if i < len(pattern) && e.Kind == pattern[i].Kind && e.Junction == pattern[i].Junction {
+			i++
+		}
+	}
+	if i != len(pattern) {
+		got := make([]string, 0, len(events))
+		for _, e := range events {
+			got = append(got, e.Kind.String()+"("+e.Junction+")")
+		}
+		t.Fatalf("trace missing step %d of expected subsequence %v; full filtered trace: %v", i, pattern, got)
+	}
+}
+
+func waitUntil(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestCrashRestartTraceAndEpochs pins the crash observability contract:
+// CrashInstance then StartInstance must emit crash, endpoint-down, restart
+// and table re-init events in order, and the restart must open a fresh
+// metrics epoch with zeroed counters.
+func TestCrashRestartTraceAndEpochs(t *testing.T) {
+	var served atomic.Int32
+	ring := obsv.NewRingSink(4096)
+	s := mustSystem(t, workerProgram(&served), Options{Trace: ring})
+	if err := s.RunMain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	j, err := s.Junction("w", "serve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.InjectProp("Req", true)
+	waitUntil(t, 2*time.Second, "first serving", func() bool { return served.Load() >= 1 })
+
+	snapBefore := findJunction(t, s, "w::serve")
+	if snapBefore.Fires == 0 || snapBefore.Epoch != 1 {
+		t.Fatalf("pre-crash snapshot: %+v, want fires>0 epoch=1", snapBefore)
+	}
+
+	s.CrashInstance("w")
+	if err := s.StartInstance("w", nil); err != nil {
+		t.Fatal(err)
+	}
+
+	expectSubsequence(t, ring.Events(), []obsv.Event{
+		{Kind: obsv.EvInstanceStart, Junction: "w"},
+		{Kind: obsv.EvTableInit, Junction: "w::serve"},
+		{Kind: obsv.EvSchedFire, Junction: "w::serve"},
+		{Kind: obsv.EvInstanceCrash, Junction: "w"},
+		{Kind: obsv.EvEndpointDown, Junction: "w::serve"},
+		{Kind: obsv.EvInstanceStart, Junction: "w"},
+		{Kind: obsv.EvTableInit, Junction: "w::serve"},
+	})
+
+	snapAfter := findJunction(t, s, "w::serve")
+	if snapAfter.Epoch != snapBefore.Epoch+1 {
+		t.Fatalf("epoch after restart: %d, want %d", snapAfter.Epoch, snapBefore.Epoch+1)
+	}
+	if snapAfter.Fires != 0 || snapAfter.Schedulings != 0 || snapAfter.SchedLatency.Count != 0 {
+		t.Fatalf("counters must reset on restart: %+v", snapAfter)
+	}
+
+	// The restarted incarnation still serves, and its work lands in the new
+	// epoch only.
+	j2, err := s.Junction("w", "serve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2.InjectProp("Req", true)
+	waitUntil(t, 2*time.Second, "post-restart serving", func() bool { return served.Load() >= 2 })
+	if snap := findJunction(t, s, "w::serve"); snap.Fires == 0 {
+		t.Fatalf("post-restart fires not counted: %+v", snap)
+	}
+}
+
+// TestCrashRecoveryTimelineFromTrace reconstructs a Fig 23a-style timeline
+// purely from trace events: service fires before the crash, none between
+// crash and restart, and fires again after recovery — with the lifecycle
+// markers bracketing the gap. No counters or application state are
+// consulted; the trace alone carries the story.
+func TestCrashRecoveryTimelineFromTrace(t *testing.T) {
+	var served atomic.Int32
+	ring := obsv.NewRingSink(8192)
+	s := mustSystem(t, workerProgram(&served), Options{Trace: ring})
+	if err := s.RunMain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	j, err := s.Junction("w", "serve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		j.InjectProp("Req", true)
+		want := int32(i + 1)
+		waitUntil(t, 2*time.Second, "pre-crash serving", func() bool { return served.Load() >= want })
+	}
+	s.CrashInstance("w")
+	if err := s.StartInstance("w", nil); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := s.Junction("w", "serve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		j2.InjectProp("Req", true)
+		want := int32(4 + i)
+		waitUntil(t, 2*time.Second, "post-restart serving", func() bool { return served.Load() >= want })
+	}
+
+	// Reconstruct the timeline from the trace alone.
+	timeline := kindSeq(ring,
+		obsv.EvSchedFire, obsv.EvInstanceCrash, obsv.EvEndpointDown,
+		obsv.EvInstanceStart, obsv.EvTableInit)
+	phase := 0 // 0 = serving, 1 = down, 2 = recovered
+	preFires, downFires, postFires := 0, 0, 0
+	for _, e := range timeline {
+		switch e.Kind {
+		case obsv.EvInstanceCrash:
+			if phase == 0 {
+				phase = 1
+			}
+		case obsv.EvInstanceStart:
+			if phase == 1 {
+				phase = 2
+			}
+		case obsv.EvSchedFire:
+			switch phase {
+			case 0:
+				preFires++
+			case 1:
+				downFires++
+			case 2:
+				postFires++
+			}
+		}
+	}
+	if phase != 2 {
+		t.Fatalf("timeline never reached recovery: ended in phase %d", phase)
+	}
+	if preFires < 3 || postFires < 3 {
+		t.Fatalf("timeline shape wrong: %d fires before crash, %d after recovery (want >=3 both)", preFires, postFires)
+	}
+	if downFires != 0 {
+		t.Fatalf("%d fires while the instance was down — the dip must be visible in the trace", downFires)
+	}
+	// The sequence numbers must be strictly increasing: the timeline is
+	// totally ordered even when wall-clock timestamps collide.
+	var last uint64
+	for _, e := range ring.Events() {
+		if e.Seq <= last {
+			t.Fatalf("trace seq not strictly increasing: %d after %d", e.Seq, last)
+		}
+		last = e.Seq
+	}
+}
+
+// TestMetricsMergeAndGuardEvents checks the System.Metrics surface: fires,
+// guard-driven not-schedulable counts and latency digests show up merged
+// with the transport stats, and guard evaluations are traced with their
+// ternary result.
+func TestMetricsMergeAndGuardEvents(t *testing.T) {
+	var served atomic.Int32
+	ring := obsv.NewRingSink(4096)
+	s := mustSystem(t, workerProgram(&served), Options{Trace: ring})
+	if err := s.RunMain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// An Invoke against a false guard counts NotSchedulable.
+	if err := s.Invoke(context.Background(), "w", "serve"); err == nil {
+		t.Fatal("invoke with false guard must fail")
+	}
+	j, err := s.Junction("w", "serve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.InjectProp("Req", true)
+	waitUntil(t, 2*time.Second, "serving", func() bool { return served.Load() >= 1 })
+
+	snap := findJunction(t, s, "w::serve")
+	if snap.NotSchedulable == 0 {
+		t.Fatalf("not-schedulable not counted: %+v", snap)
+	}
+	if snap.Fires == 0 || snap.Schedulings < snap.Fires {
+		t.Fatalf("fires/schedulings inconsistent: %+v", snap)
+	}
+	// A trace sink implies timing, so the latency histogram must be fed.
+	if snap.SchedLatency.Count == 0 || snap.SchedLatency.Max <= 0 {
+		t.Fatalf("latency histogram empty with tracing on: %+v", snap.SchedLatency)
+	}
+	found := false
+	for _, e := range ring.Find(obsv.EvGuardEval, "w::serve") {
+		if e.Truth == "ff" || e.Truth == "??" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no guard.eval event with a non-true ternary result")
+	}
+}
+
+func findJunction(t *testing.T, s *System, fq string) obsv.JunctionSnapshot {
+	t.Helper()
+	for _, js := range s.Metrics().Junctions {
+		if js.Junction == fq {
+			return js
+		}
+	}
+	t.Fatalf("junction %s missing from metrics snapshot", fq)
+	return obsv.JunctionSnapshot{}
+}

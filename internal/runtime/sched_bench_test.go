@@ -8,6 +8,7 @@ import (
 
 	"csaw/internal/dsl"
 	"csaw/internal/formula"
+	"csaw/internal/obsv"
 )
 
 // benchProgram is a representative single-junction body: a host hook, a data
@@ -64,6 +65,34 @@ func benchScheduling(b *testing.B, disableCompiled bool) {
 // ns/op is the per-scheduling cost, so schedulings/sec = 1e9 / ns_op.
 func BenchmarkSchedulingCompiled(b *testing.B)    { benchScheduling(b, false) }
 func BenchmarkSchedulingInterpreter(b *testing.B) { benchScheduling(b, true) }
+
+// BenchmarkSchedulingObsvOff is BenchmarkSchedulingCompiled with the
+// observability layer in its default state (no sink, no timing): the cost is
+// a handful of uncontended atomic adds, and the acceptance budget is ≤5%
+// over the pre-observability BenchmarkSchedulingCompiled baseline.
+// BenchmarkSchedulingObsvOn measures the fully-on ablation — timing plus a
+// trace event stream into a ring sink — which is the csaw-bench -trace
+// configuration, not the production default.
+func BenchmarkSchedulingObsvOff(b *testing.B) { benchScheduling(b, false) }
+
+func BenchmarkSchedulingObsvOn(b *testing.B) {
+	s, err := New(benchProgram(), Options{Trace: obsv.NewRingSink(1024)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	ctx := context.Background()
+	if err := s.RunMain(ctx); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Invoke(ctx, "i", "junction"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 func benchGuardWake(b *testing.B, disableCompiled bool, poll time.Duration) {
 	ran := make(chan struct{}, 1)

@@ -25,6 +25,7 @@ import (
 	"csaw/internal/compart"
 	"csaw/internal/dsl"
 	"csaw/internal/kv"
+	"csaw/internal/obsv"
 	"csaw/internal/plan"
 )
 
@@ -51,6 +52,17 @@ type Options struct {
 	// pre-plan runtime. The equivalence suite runs every pattern under both
 	// modes.
 	DisableCompiledPlan bool
+	// Trace installs a structured trace sink (internal/obsv): every
+	// scheduling decision, guard evaluation, transaction outcome, wait
+	// transition, remote-update hop and instance lifecycle event is emitted
+	// through it. Nil (the default) disables tracing entirely — the
+	// scheduling path then pays only atomic metric counters
+	// (BenchmarkSchedulingObsvOff pins the cost).
+	Trace obsv.Sink
+	// Metrics additionally enables latency-histogram timing (time.Now
+	// sampling around junction bodies) without a trace sink, so
+	// System.Metrics() reports scheduling quantiles. Implied by Trace.
+	Metrics bool
 	// Vet runs the static-analysis pass suite (internal/analysis) over the
 	// program at construction time and refuses to build a system whose
 	// program carries error-severity findings (unreachable junctions,
@@ -82,6 +94,10 @@ type System struct {
 	// plan is the program's static lowering, computed once at New; junctions
 	// build their per-start closure compilation on top of it.
 	plan *plan.Program
+
+	// obs is the system's observability hub: always-on per-junction metric
+	// counters, plus trace events and latency timing when enabled.
+	obs *obsv.Observer
 
 	mu        sync.Mutex
 	instances map[string]*Instance
@@ -141,9 +157,16 @@ func New(p *dsl.Program, opts Options) (*System, error) {
 		net:       net,
 		opts:      opts,
 		plan:      plan.Compile(p),
+		obs:       obsv.NewObserver(),
 		instances: map[string]*Instance{},
 		apps:      map[string]any{},
 		ackWait:   map[uint64]chan struct{}{},
+	}
+	if opts.Trace != nil {
+		s.obs.SetSink(opts.Trace)
+	}
+	if opts.Metrics {
+		s.obs.EnableTiming(true)
 	}
 	return s, nil
 }
@@ -264,11 +287,20 @@ func (s *System) startLocked(name string, args any) error {
 	} else {
 		inst.app = s.apps[name]
 	}
+	if s.obs.Tracing() {
+		s.obs.Emit(obsv.Event{Kind: obsv.EvInstanceStart, Junction: name, Key: tn})
+	}
 	for _, jn := range t.JunctionNames() {
 		def := t.Junctions[jn]
 		j := newJunction(s, inst, def)
 		inst.junctions[jn] = j
 		s.net.Register(j.FQName, j.handleMessage)
+		// A (re)start reinitializes the junction's KV table and opens a new
+		// metrics epoch, so post-restart rates never smear across the crash.
+		s.obs.ResetJunction(j.FQName)
+		if s.obs.Tracing() {
+			s.obs.Emit(obsv.Event{Kind: obsv.EvTableInit, Junction: j.FQName})
+		}
 	}
 	inst.running.Store(true)
 	s.instances[name] = inst
@@ -297,6 +329,9 @@ func (s *System) StopInstance(name string) error {
 		s.net.Deregister(j.FQName)
 	}
 	s.mu.Unlock()
+	if s.obs.Tracing() {
+		s.obs.Emit(obsv.Event{Kind: obsv.EvInstanceStop, Junction: name})
+	}
 	for _, j := range inst.junctions {
 		j.stopDriver()
 	}
@@ -314,8 +349,15 @@ func (s *System) CrashInstance(name string) {
 		return
 	}
 	inst.running.Store(false)
+	tracing := s.obs.Tracing()
+	if tracing {
+		s.obs.Emit(obsv.Event{Kind: obsv.EvInstanceCrash, Junction: name})
+	}
 	for _, j := range inst.junctions {
 		s.net.Crash(j.FQName)
+		if tracing {
+			s.obs.Emit(obsv.Event{Kind: obsv.EvEndpointDown, Junction: j.FQName})
+		}
 	}
 	s.mu.Unlock()
 	for _, j := range inst.junctions {
@@ -450,10 +492,11 @@ func (s *System) Close() {
 
 // --- remote update plumbing -------------------------------------------------
 
-// sendUpdate ships one assert/retract/write to a remote junction and waits
-// for its delivery acknowledgment. The wait respects ctx's deadline and is
-// bounded by AckTimeout.
-func (s *System) sendUpdate(ctx context.Context, from, to string, kind compart.MessageKind, key string, flag bool, payload []byte) error {
+// sendUpdate ships one assert/retract/write from a junction to a remote
+// junction and waits for its delivery acknowledgment. The wait respects
+// ctx's deadline and is bounded by AckTimeout.
+func (s *System) sendUpdate(ctx context.Context, j *Junction, to string, kind compart.MessageKind, key string, flag bool, payload []byte) error {
+	from := j.FQName
 	seq := s.ackSeq.Add(1)
 	ch := make(chan struct{}, 1)
 	s.ackMu.Lock()
@@ -481,6 +524,10 @@ func (s *System) sendUpdate(ctx context.Context, from, to string, kind compart.M
 	defer timer.Stop()
 	select {
 	case <-ch:
+		j.met.RemoteAcked.Add(1)
+		if s.obs.Tracing() {
+			s.obs.Emit(obsv.Event{Kind: obsv.EvRemoteAcked, Junction: from, Key: to})
+		}
 		return nil
 	case <-ctx.Done():
 		return fmt.Errorf("%w: awaiting ack from %s", ErrTimeout, to)
@@ -530,6 +577,10 @@ func (j *Junction) handleMessage(m compart.Message) {
 			j.applyImmediately(u)
 		} else {
 			j.table.Enqueue(u)
+		}
+		j.met.RemoteQueued.Add(1)
+		if j.sys.obs.Tracing() {
+			j.sys.obs.Emit(obsv.Event{Kind: obsv.EvRemoteQueued, Junction: j.FQName, Key: m.Key})
 		}
 		// Acknowledge delivery back to the sender.
 		var ackBody [8]byte
