@@ -1,8 +1,9 @@
 // Command csawc is the C-Saw architecture tool: it validates the built-in
 // catalogue of architecture descriptions (the patterns of §5 and §7),
 // extracts their communication topology (§8.7), renders their
-// event-structure semantics (§8) as Graphviz DOT, and vets them with the
-// static-analysis pass suite (internal/analysis).
+// event-structure semantics (§8) as Graphviz DOT, vets them with the
+// static-analysis pass suite (internal/analysis), and model-checks them with
+// the bounded explicit-state checker (internal/check).
 //
 // Usage:
 //
@@ -13,19 +14,26 @@
 //	csawc -arch failover -vet         # run the analyzer on one architecture
 //	csawc -vet-all                    # vet the whole catalogue
 //	csawc -vet-all -json              # ... as a JSON report
+//	csawc -arch snapshot -check       # bounded model checking of one architecture
+//	csawc -check-all                  # check catalogue + negative examples
+//	                                  # against their annotated verdicts
+//	csawc -arch x -check -check-bound 64 -check-json
 //
 // -vet and -vet-all exit non-zero when any error-severity diagnostic
-// survives the catalogue's recorded suppressions, so they can gate CI.
+// survives the catalogue's recorded suppressions. -check exits non-zero on
+// any deadlock or invariant violation (liveness findings are warnings), and
+// -check-all additionally when an entry's verdict drifts from its
+// annotation. Both JSON modes share the analysis.ArchReport schema.
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
 	"csaw/internal/analysis"
+	"csaw/internal/check"
 	"csaw/internal/dsl"
 	"csaw/internal/events"
 	"csaw/internal/patterns"
@@ -34,13 +42,17 @@ import (
 
 func main() {
 	var (
-		list      = flag.Bool("list", false, "list catalogue architectures")
-		arch      = flag.String("arch", "", "architecture to analyze")
-		topo      = flag.Bool("topo", false, "print topology (Graphviz DOT)")
-		eventsOut = flag.Bool("events", false, "print event-structure semantics (Graphviz DOT)")
-		vet       = flag.Bool("vet", false, "run the static-analysis pass suite on -arch")
-		vetAll    = flag.Bool("vet-all", false, "run the static-analysis pass suite on every catalogue architecture")
-		jsonOut   = flag.Bool("json", false, "with -vet/-vet-all: emit the report as JSON")
+		list       = flag.Bool("list", false, "list catalogue architectures")
+		arch       = flag.String("arch", "", "architecture to analyze")
+		topo       = flag.Bool("topo", false, "print topology (Graphviz DOT)")
+		eventsOut  = flag.Bool("events", false, "print event-structure semantics (Graphviz DOT)")
+		vet        = flag.Bool("vet", false, "run the static-analysis pass suite on -arch")
+		vetAll     = flag.Bool("vet-all", false, "run the static-analysis pass suite on every catalogue architecture")
+		jsonOut    = flag.Bool("json", false, "with -vet/-vet-all: emit the report as JSON")
+		checkOne   = flag.Bool("check", false, "run the bounded model checker on -arch")
+		checkAll   = flag.Bool("check-all", false, "model-check the catalogue and negative examples against their annotated verdicts")
+		checkBound = flag.Int("check-bound", 0, "with -check/-check-all: schedule-length bound (0 = default)")
+		checkJSON  = flag.Bool("check-json", false, "with -check/-check-all: emit the report as JSON")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -51,21 +63,31 @@ func main() {
 	if *vetAll {
 		os.Exit(vetArchitectures(os.Stdout, patterns.Catalogue(), *jsonOut))
 	}
+	if *checkAll {
+		entries := append(patterns.Catalogue(), patterns.Negatives()...)
+		os.Exit(checkArchitectures(os.Stdout, entries, *checkBound, *checkJSON, true))
+	}
 
 	if *list || *arch == "" {
 		for _, e := range patterns.Catalogue() {
 			fmt.Printf("%-18s %s\n", e.Name, e.Doc)
 		}
+		for _, e := range patterns.Negatives() {
+			fmt.Printf("%-18s %s (negative example)\n", e.Name, e.Doc)
+		}
 		return
 	}
 
-	entry, ok := patterns.CatalogueEntryByName(*arch)
+	entry, ok := findEntry(*arch)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "csawc: unknown architecture %q (see -list)\n", *arch)
 		os.Exit(1)
 	}
 	if *vet {
 		os.Exit(vetArchitectures(os.Stdout, []patterns.CatalogueEntry{entry}, *jsonOut))
+	}
+	if *checkOne {
+		os.Exit(checkArchitectures(os.Stdout, []patterns.CatalogueEntry{entry}, *checkBound, *checkJSON, false))
 	}
 
 	p := entry.Build()
@@ -101,6 +123,20 @@ func main() {
 	}
 }
 
+// findEntry resolves an architecture name across the catalogue and the
+// negative examples.
+func findEntry(name string) (patterns.CatalogueEntry, bool) {
+	if e, ok := patterns.CatalogueEntryByName(name); ok {
+		return e, true
+	}
+	for _, e := range patterns.Negatives() {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return patterns.CatalogueEntry{}, false
+}
+
 // schedulingModes classifies each junction by how the runtime will drive it,
 // from the compiled plan's guard read-sets: a local-only guard schedules
 // purely on keyed KV subscription wakes; a guard consulting remote state
@@ -120,23 +156,15 @@ func schedulingModes(p *dsl.Program) (event, polled, invoked int) {
 	return event, polled, invoked
 }
 
-// archReport is one architecture's entry in the JSON vet report.
-type archReport struct {
-	Arch        string                          `json:"arch"`
-	Error       string                          `json:"error,omitempty"`
-	Diagnostics []analysis.Diagnostic           `json:"diagnostics"`
-	Suppressed  []analysis.SuppressedDiagnostic `json:"suppressed,omitempty"`
-}
-
 // vetArchitectures runs the full pass suite over each entry (honouring its
 // recorded suppressions) and returns the process exit code: 1 if any
 // architecture fails to validate or carries an unsuppressed error-severity
 // diagnostic, 0 otherwise.
 func vetArchitectures(w io.Writer, entries []patterns.CatalogueEntry, asJSON bool) int {
 	code := 0
-	reports := make([]archReport, 0, len(entries))
+	reports := make([]analysis.ArchReport, 0, len(entries))
 	for _, e := range entries {
-		ar := archReport{Arch: e.Name, Diagnostics: []analysis.Diagnostic{}}
+		ar := analysis.ArchReport{Arch: e.Name, Diagnostics: []analysis.Diagnostic{}}
 		rep, err := analysis.Analyze(e.Build(), &analysis.Config{Suppress: e.Suppressions})
 		if err != nil {
 			ar.Error = err.Error()
@@ -152,9 +180,7 @@ func vetArchitectures(w io.Writer, entries []patterns.CatalogueEntry, asJSON boo
 	}
 
 	if asJSON {
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(reports); err != nil {
+		if err := analysis.EncodeReports(w, reports); err != nil {
 			fmt.Fprintf(os.Stderr, "csawc: %v\n", err)
 			return 1
 		}
@@ -170,6 +196,105 @@ func vetArchitectures(w io.Writer, entries []patterns.CatalogueEntry, asJSON boo
 		default:
 			fmt.Fprintf(w, "%s: %d finding(s), %d suppressed\n", ar.Arch, len(ar.Diagnostics), len(ar.Suppressed))
 			for _, d := range ar.Diagnostics {
+				fmt.Fprintf(w, "  %s\n", d.String())
+			}
+		}
+	}
+	return code
+}
+
+// checkArchitectures model-checks each entry and returns the process exit
+// code. Deadlock and invariant violations are error-severity (exit 1);
+// liveness findings are warnings. With enforceVerdicts (the -check-all mode),
+// the computed verdict must additionally equal the entry's annotation, so a
+// checker or pattern regression fails CI even when the expected verdict is a
+// non-clean one.
+func checkArchitectures(w io.Writer, entries []patterns.CatalogueEntry, bound int, asJSON, enforceVerdicts bool) int {
+	code := 0
+	reports := make([]analysis.ArchReport, 0, len(entries))
+	type outcome struct {
+		res     *check.Result
+		verdict string
+	}
+	outcomes := make([]outcome, 0, len(entries))
+	for _, e := range entries {
+		ar := analysis.ArchReport{Arch: e.Name, Diagnostics: []analysis.Diagnostic{}}
+		res, err := check.Check(e.Build(), check.Options{Bound: bound})
+		verdict := ""
+		if err != nil {
+			ar.Error = err.Error()
+			verdict = "invalid"
+			code = 1
+		} else {
+			verdict = check.VerdictOf(res)
+			for _, v := range res.Violations {
+				sev := analysis.SevError
+				if v.Kind == check.Liveness {
+					sev = analysis.SevWarning
+				}
+				pos := v.Junction
+				if pos == "" {
+					pos = "(program)"
+				}
+				ar.Diagnostics = append(ar.Diagnostics, analysis.Diagnostic{
+					Pass: "check", Severity: sev, Pos: pos, Msg: v.String(),
+				})
+			}
+		}
+		if enforceVerdicts {
+			want := e.CheckVerdict
+			if want == "" {
+				want = "clean"
+			}
+			if verdict != want {
+				ar.Diagnostics = append(ar.Diagnostics, analysis.Diagnostic{
+					Pass: "check", Severity: analysis.SevError, Pos: "(verdict)",
+					Msg: fmt.Sprintf("verdict %q, annotated %q", verdict, want),
+				})
+				code = 1
+			}
+		} else {
+			for _, d := range ar.Diagnostics {
+				if d.Severity == analysis.SevError {
+					code = 1
+					break
+				}
+			}
+		}
+		reports = append(reports, ar)
+		outcomes = append(outcomes, outcome{res: res, verdict: verdict})
+	}
+
+	if asJSON {
+		if err := analysis.EncodeReports(w, reports); err != nil {
+			fmt.Fprintf(os.Stderr, "csawc: %v\n", err)
+			return 1
+		}
+		return code
+	}
+
+	for i, ar := range reports {
+		o := outcomes[i]
+		if ar.Error != "" {
+			fmt.Fprintf(w, "%s: INVALID\n%s\n", ar.Arch, ar.Error)
+			continue
+		}
+		fmt.Fprintf(w, "%s: %s (states=%d transitions=%d", ar.Arch, o.verdict, o.res.States, o.res.Transitions)
+		if o.res.Truncated {
+			fmt.Fprintf(w, ", truncated")
+		}
+		fmt.Fprintf(w, ")\n")
+		for _, v := range o.res.Violations {
+			fmt.Fprintf(w, "  %s\n", v)
+			for _, s := range v.Trace {
+				fmt.Fprintf(w, "    %s\n", s)
+			}
+		}
+		for _, note := range o.res.Unsupported {
+			fmt.Fprintf(w, "  note: %s\n", note)
+		}
+		for _, d := range ar.Diagnostics {
+			if d.Pos == "(verdict)" {
 				fmt.Fprintf(w, "  %s\n", d.String())
 			}
 		}

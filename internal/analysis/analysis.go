@@ -225,5 +225,21 @@ func Analyze(p *dsl.Program, cfg *Config) (*Report, error) {
 			report.Diagnostics = append(report.Diagnostics, d)
 		}
 	}
+	// A suppression naming a pass outside this run can never match — almost
+	// always a typo in the config (the findings it meant to mute stay live).
+	known := map[string]bool{}
+	for _, pass := range passes {
+		known[pass.Name] = true
+	}
+	for _, sup := range cfg.Suppress {
+		if sup.Pass != "" && !known[sup.Pass] {
+			report.Diagnostics = append(report.Diagnostics, Diagnostic{
+				Pass:     "suppress",
+				Severity: SevWarning,
+				Pos:      "(config)",
+				Msg:      fmt.Sprintf("suppression %q names unknown pass %q and can never match", sup.Match, sup.Pass),
+			})
+		}
+	}
 	return report, nil
 }

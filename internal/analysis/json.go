@@ -1,0 +1,41 @@
+// Machine-readable report encoding shared by every csawc JSON mode
+// (-vet -json, -check-json): one ArchReport per analyzed architecture, a
+// stable schema downstream tooling can decode without knowing which tool
+// produced it.
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ArchReport is the per-architecture element of csawc's JSON output: the
+// architecture name, a build/validation error (exclusive with findings), and
+// the findings themselves in the Diagnostic schema. The model checker reports
+// through the same shape (its violations rendered as pass "check"
+// diagnostics), so -vet -json and -check-json consumers share one decoder.
+type ArchReport struct {
+	Arch        string                 `json:"arch"`
+	Error       string                 `json:"error,omitempty"`
+	Diagnostics []Diagnostic           `json:"diagnostics"`
+	Suppressed  []SuppressedDiagnostic `json:"suppressed,omitempty"`
+}
+
+// EncodeReports writes reports as indented JSON.
+func EncodeReports(w io.Writer, reports []ArchReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(reports)
+}
+
+// DecodeReports reads what EncodeReports wrote.
+func DecodeReports(r io.Reader) ([]ArchReport, error) {
+	var reports []ArchReport
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&reports); err != nil {
+		return nil, fmt.Errorf("analysis: decode reports: %w", err)
+	}
+	return reports, nil
+}

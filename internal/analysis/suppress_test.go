@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"csaw/internal/dsl"
+	"csaw/internal/formula"
+)
+
+func TestSuppressionMatches(t *testing.T) {
+	d := Diagnostic{
+		Pass:     "kvlifecycle",
+		Severity: SevWarning,
+		Pos:      "a::j/body[2]",
+		Msg:      `proposition "Work" is written but never read`,
+	}
+	cases := []struct {
+		name string
+		sup  Suppression
+		want bool
+	}{
+		{"msg substring, wildcard pass", Suppression{Match: "never read"}, true},
+		{"pos substring, wildcard pass", Suppression{Match: "a::j/body"}, true},
+		{"msg substring, matching pass", Suppression{Pass: "kvlifecycle", Match: `"Work"`}, true},
+		{"pass mismatch", Suppression{Pass: "divergence", Match: "never read"}, false},
+		{"substring of neither", Suppression{Pass: "kvlifecycle", Match: "no such text"}, false},
+		{"empty match never fires", Suppression{Pass: "kvlifecycle"}, false},
+		{"empty match, empty pass", Suppression{}, false},
+		{"full msg", Suppression{Match: d.Msg}, true},
+		{"case sensitive", Suppression{Match: "NEVER READ"}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.sup.matches(d); got != tc.want {
+				t.Fatalf("matches(%+v) = %v, want %v", tc.sup, got, tc.want)
+			}
+		})
+	}
+}
+
+func suppressTestProgram() *dsl.Program {
+	p := dsl.NewProgram()
+	p.Type("T").Junction("j", dsl.Def(
+		dsl.Decls(dsl.InitProp{Name: "Go", Init: true}),
+		dsl.Retract{Prop: dsl.PR("Go")},
+	).Guarded(formula.P("Go")))
+	p.Instance("a", "T")
+	p.SetMain(dsl.Start{Instance: "a"})
+	return p
+}
+
+func TestUnknownPassSuppressionWarns(t *testing.T) {
+	rep, err := Analyze(suppressTestProgram(), &Config{
+		Suppress: []Suppression{
+			{Pass: "kvlifecycle", Match: "anything", Reason: "valid pass, no warning"},
+			{Pass: "kvlifecycel", Match: "anything", Reason: "typo'd pass"},
+		},
+	})
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	var warns []Diagnostic
+	for _, d := range rep.Diagnostics {
+		if d.Pass == "suppress" {
+			warns = append(warns, d)
+		}
+	}
+	if len(warns) != 1 {
+		t.Fatalf("expected exactly one unknown-pass warning, got %v", warns)
+	}
+	if warns[0].Severity != SevWarning || !strings.Contains(warns[0].Msg, `"kvlifecycel"`) {
+		t.Fatalf("warning should name the unknown pass: %+v", warns[0])
+	}
+}
+
+func TestNoWarningWithoutSuppressions(t *testing.T) {
+	rep, err := Analyze(suppressTestProgram(), nil)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	for _, d := range rep.Diagnostics {
+		if d.Pass == "suppress" {
+			t.Fatalf("unexpected suppress diagnostic: %+v", d)
+		}
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	in := []ArchReport{
+		{
+			Arch: "snapshot",
+			Diagnostics: []Diagnostic{
+				{Pass: "kvlifecycle", Severity: SevInfo, Pos: "Act::junction", Msg: "note"},
+				{Pass: "check", Severity: SevError, Pos: "a::j", Msg: "deadlock: a::j blocked on wait[AckB]"},
+			},
+			Suppressed: []SuppressedDiagnostic{{
+				Diagnostic: Diagnostic{Pass: "divergence", Severity: SevWarning, Pos: "b::j", Msg: "wait without deadline"},
+				Reason:     "deliberate",
+			}},
+		},
+		{Arch: "broken", Error: "validate: no such instance"},
+	}
+	var buf bytes.Buffer
+	if err := EncodeReports(&buf, in); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	encoded := buf.String()
+	out, err := DecodeReports(&buf)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip drifted:\nin:  %+v\nout: %+v", in, out)
+	}
+	// The encoding must spell severities as keywords, not numbers.
+	if !strings.Contains(encoded, `"severity": "error"`) {
+		t.Fatalf("severity not encoded as keyword:\n%s", encoded)
+	}
+}

@@ -1,0 +1,40 @@
+package check
+
+import (
+	"csaw/internal/obsv"
+)
+
+// TraceEvents renders a violation's counterexample schedule in the obsv
+// trace-event vocabulary: the schedule's externally-meaningful transitions
+// (scheduling starts, absorbed updates, wait admissions, timeouts,
+// environment injections) followed by one terminal event naming the
+// violation. Strand steps are thread-internal and emit nothing. Seq numbers
+// the schedule order; At is zero (model time is abstract).
+func TraceEvents(v Violation) []obsv.Event {
+	var evs []obsv.Event
+	emit := func(e obsv.Event) {
+		e.Seq = uint64(len(evs) + 1)
+		evs = append(evs, e)
+	}
+	for _, s := range v.Trace {
+		switch s.Kind {
+		case StepSchedule, StepInvoke:
+			emit(obsv.Event{Kind: obsv.EvSchedStart, Junction: s.Junction})
+		case StepAbsorb:
+			emit(obsv.Event{Kind: obsv.EvRemoteApplied, Junction: s.Junction})
+		case StepResume:
+			emit(obsv.Event{Kind: obsv.EvWaitAdmitted, Junction: s.Junction})
+		case StepTimeout:
+			emit(obsv.Event{Kind: obsv.EvWaitTimeout, Junction: s.Junction})
+		case StepInject:
+			emit(obsv.Event{Kind: obsv.EvCheckEnvInject, Junction: s.Junction, Key: s.Key})
+		}
+	}
+	switch v.Kind {
+	case Deadlock:
+		emit(obsv.Event{Kind: obsv.EvCheckDeadlock, Junction: v.Junction, Err: v.Detail})
+	case Invariant:
+		emit(obsv.Event{Kind: obsv.EvCheckInvariant, Key: v.Invariant, Err: v.Detail})
+	}
+	return evs
+}

@@ -1,0 +1,79 @@
+package dsl
+
+import (
+	"strings"
+	"testing"
+
+	"csaw/internal/formula"
+)
+
+// invProgram builds a minimal two-instance program for invariant validation
+// tests: instance a (type T, junction j with prop Done) and instance b
+// (single-junction type U, junction watch with prop Busy).
+func invProgram() *Program {
+	p := NewProgram()
+	p.Type("T").Junction("j", Def(
+		Decls(InitProp{Name: "Done", Init: false}),
+		Assert{Prop: PropRef{Base: "Done"}},
+	))
+	p.Type("U").Junction("watch", Def(
+		Decls(InitProp{Name: "Busy", Init: false}),
+		Retract{Prop: PropRef{Base: "Busy"}},
+	))
+	p.Instance("a", "T").Instance("b", "U")
+	p.SetMain(Start{Instance: "a"}, Start{Instance: "b"})
+	return p
+}
+
+func TestInvariantValidation(t *testing.T) {
+	ok := func(p *Program) {
+		t.Helper()
+		if err := Validate(p); err != nil {
+			t.Fatalf("expected valid, got: %v", err)
+		}
+	}
+	bad := func(p *Program, want string) {
+		t.Helper()
+		err := Validate(p)
+		if err == nil {
+			t.Fatalf("expected error containing %q, got nil", want)
+		}
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not contain %q", err, want)
+		}
+	}
+
+	// Fully-qualified and bare single-junction instance references resolve.
+	ok(invProgram().Invariant("both", formula.And(
+		formula.At("a::j", "Done"),
+		formula.At("b", "Busy"), // bare instance, single junction
+	)))
+
+	// @running needs no declaration.
+	ok(invProgram().Invariant("live", formula.At("a::j", "@running")))
+
+	bad(invProgram().Invariant("", formula.At("a::j", "Done")), "empty name")
+	bad(invProgram().
+		Invariant("dup", formula.At("a::j", "Done")).
+		Invariant("dup", formula.At("a::j", "Done")),
+		`duplicate invariant "dup"`)
+	bad(invProgram().Invariant("nilf", nil), "nil formula")
+	bad(invProgram().Invariant("unq", formula.P("Done")), "must be junction-qualified")
+	bad(invProgram().Invariant("idx", formula.At("a::j", "Done[$x]")), "no idx context")
+	bad(invProgram().Invariant("noj", formula.At("a::nope", "Done")), "unresolvable junction")
+	bad(invProgram().Invariant("noinst", formula.At("zzz::j", "Done")), "unresolvable junction")
+	bad(invProgram().Invariant("noprop", formula.At("a::j", "Missing")), `"Missing" not declared`)
+	// Bare instance whose type has two junctions cannot be referenced bare.
+	p := invProgram()
+	p.Type("T").Junction("k", Def(nil, Skip{}))
+	bad(p.Invariant("multi", formula.At("a", "Done")), "unresolvable junction")
+}
+
+func TestInvariantBuilderAccumulates(t *testing.T) {
+	p := invProgram().
+		Invariant("one", formula.At("a::j", "Done")).
+		Invariant("two", formula.At("b", "Busy"))
+	if len(p.Invariants) != 2 || p.Invariants[0].Name != "one" || p.Invariants[1].Name != "two" {
+		t.Fatalf("invariants not accumulated in order: %+v", p.Invariants)
+	}
+}

@@ -126,14 +126,25 @@ type Function struct {
 	Expand func(args ...string) []Expr
 }
 
+// Invariant is a user-declared safety property over the whole architecture:
+// a ternary formula that must never evaluate to definitely-false in a
+// quiescent configuration (no junction body mid-flight). Propositions must be
+// junction-qualified ("inst::junction" or a bare single-junction instance)
+// since an invariant has no owning junction to resolve local names against.
+type Invariant struct {
+	Name string
+	Cond formula.Formula
+}
+
 // Program is a complete C-Saw architecture description: instance types, the
 // instance set with their types, the special main body, and the function
 // catalogue.
 type Program struct {
-	Types     map[string]*InstanceType
-	Instances map[string]string // instance name -> type name
-	Main      []Expr
-	Functions map[string]*Function
+	Types      map[string]*InstanceType
+	Instances  map[string]string // instance name -> type name
+	Main       []Expr
+	Functions  map[string]*Function
+	Invariants []Invariant
 
 	typeOrder     []string
 	instanceOrder []string
@@ -171,6 +182,13 @@ func (p *Program) Instance(name, typeName string) *Program {
 // SetMain sets the body of the special main definition.
 func (p *Program) SetMain(body ...Expr) *Program {
 	p.Main = body
+	return p
+}
+
+// Invariant declares a named safety property checked by the bounded model
+// checker (csawc -check) at every quiescent configuration.
+func (p *Program) Invariant(name string, cond formula.Formula) *Program {
+	p.Invariants = append(p.Invariants, Invariant{Name: name, Cond: cond})
 	return p
 }
 

@@ -91,10 +91,65 @@ func Validate(p *Program) error {
 		}
 	}
 
+	validateInvariants(p, fail)
+
 	if len(errs) == 0 {
 		return nil
 	}
 	return fmt.Errorf("%w:\n  - %s", ErrInvalid, strings.Join(errs, "\n  - "))
+}
+
+// validateInvariants checks the program-level invariant declarations: names
+// are unique and non-empty, and every proposition is junction-qualified and
+// declared at its target (invariants have no owning junction, so unqualified
+// and idx-indexed propositions cannot resolve).
+func validateInvariants(p *Program, fail func(string, ...any)) {
+	seen := map[string]bool{}
+	for _, inv := range p.Invariants {
+		if inv.Name == "" {
+			fail("invariant with empty name")
+			continue
+		}
+		where := "invariant " + inv.Name
+		if seen[inv.Name] {
+			fail("duplicate invariant %q", inv.Name)
+		}
+		seen[inv.Name] = true
+		if inv.Cond == nil {
+			fail("%s: nil formula", where)
+			continue
+		}
+		for _, pr := range formula.Props(inv.Cond) {
+			if pr.Junction == "" {
+				fail("%s: proposition %q must be junction-qualified (inst::junction@P)", where, pr.Name)
+				continue
+			}
+			if _, _, ok := SplitIdxProp(pr.Name); ok {
+				fail("%s: idx-indexed proposition %q has no idx context at program scope", where, pr.Name)
+				continue
+			}
+			inst, jn, ok := strings.Cut(pr.Junction, "::")
+			if !ok {
+				var err error
+				inst, jn, err = resolveElemJunction(p, pr.Junction)
+				if err != nil {
+					fail("%s: unresolvable junction %q: %v", where, pr.Junction, err)
+					continue
+				}
+			}
+			def, err := p.JunctionDefOf(inst, jn)
+			if err != nil {
+				fail("%s: unresolvable junction %q: %v", where, pr.Junction, err)
+				continue
+			}
+			if strings.HasPrefix(pr.Name, "@") {
+				continue // runtime-provided predicate (e.g. @running)
+			}
+			if !propDeclared(collectDecls(def), pr.Name) {
+				fail("%s: proposition %q not declared at %s::%s", where, pr.Name, inst, jn)
+			}
+		}
+	}
 }
 
 // declInfo summarizes a junction's declared names.

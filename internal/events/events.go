@@ -104,6 +104,20 @@ type Structure struct {
 	Conflicts map[EventID]map[EventID]bool
 
 	nextID EventID
+
+	// m caches derived relations (reverse adjacency, causes sets, consistency
+	// verdicts). The model checker asks Consistent the same joint-history
+	// questions over and over against an immutable denotation, so the cache is
+	// built lazily on first query and discarded wholesale by any mutation.
+	m *memo
+}
+
+// memo is the lazily-built cache of derived relations. Cached causes sets are
+// internal and read-only; the public Causes returns copies.
+type memo struct {
+	rev        map[EventID][]EventID
+	causes     map[EventID]map[EventID]bool
+	consistent map[[2]EventID]bool
 }
 
 // NewStructure returns an empty event structure.
@@ -115,8 +129,30 @@ func NewStructure() *Structure {
 	}
 }
 
+// invalidate drops the derived-relation cache; every mutator calls it.
+func (s *Structure) invalidate() { s.m = nil }
+
+// memoized returns the cache, building the reverse adjacency on first use.
+func (s *Structure) memoized() *memo {
+	if s.m == nil {
+		rev := map[EventID][]EventID{}
+		for from, tos := range s.Enables {
+			for to := range tos {
+				rev[to] = append(rev[to], from)
+			}
+		}
+		s.m = &memo{
+			rev:        rev,
+			causes:     map[EventID]map[EventID]bool{},
+			consistent: map[[2]EventID]bool{},
+		}
+	}
+	return s.m
+}
+
 // Add creates a fresh event with the given label.
 func (s *Structure) Add(l Label) *Event {
+	s.invalidate()
 	e := &Event{ID: s.nextID, Label: l, Outward: true}
 	s.nextID++
 	s.Events[e.ID] = e
@@ -128,6 +164,7 @@ func (s *Structure) Enable(a, b EventID) {
 	if a == b {
 		return
 	}
+	s.invalidate()
 	m, ok := s.Enables[a]
 	if !ok {
 		m = map[EventID]bool{}
@@ -141,6 +178,7 @@ func (s *Structure) Conflict(a, b EventID) {
 	if a == b {
 		return
 	}
+	s.invalidate()
 	add := func(x, y EventID) {
 		m, ok := s.Conflicts[x]
 		if !ok {
@@ -264,32 +302,41 @@ func (s *Structure) Copy(of *Structure) map[EventID]EventID { return s.Merge(of)
 
 // --- closures and axioms -----------------------------------------------------
 
-// Causes returns [e] = {e' | e' ≤ e}, including e itself.
+// Causes returns [e] = {e' | e' ≤ e}, including e itself. The returned map is
+// the caller's to mutate; the memoized set stays internal.
 func (s *Structure) Causes(e EventID) map[EventID]bool {
-	// Reverse reachability over immediate edges.
-	rev := map[EventID][]EventID{}
-	for from, tos := range s.Enables {
-		for to := range tos {
-			rev[to] = append(rev[to], from)
-		}
+	c := s.causesCached(e)
+	out := make(map[EventID]bool, len(c))
+	for k := range c {
+		out[k] = true
+	}
+	return out
+}
+
+// causesCached returns the memoized causes set of e — read-only.
+func (s *Structure) causesCached(e EventID) map[EventID]bool {
+	m := s.memoized()
+	if c, ok := m.causes[e]; ok {
+		return c
 	}
 	out := map[EventID]bool{e: true}
 	stack := []EventID{e}
 	for len(stack) > 0 {
 		cur := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, p := range rev[cur] {
+		for _, p := range m.rev[cur] {
 			if !out[p] {
 				out[p] = true
 				stack = append(stack, p)
 			}
 		}
 	}
+	m.causes[e] = out
 	return out
 }
 
 // Leq reports a ≤ b (reflexive-transitive closure of immediate causality).
-func (s *Structure) Leq(a, b EventID) bool { return s.Causes(b)[a] }
+func (s *Structure) Leq(a, b EventID) bool { return s.causesCached(b)[a] }
 
 // InConflict reports whether a # b under conflict inheritance:
 // minimal conflicts propagate down the enablement order
@@ -298,7 +345,7 @@ func (s *Structure) InConflict(a, b EventID) bool {
 	if a == b {
 		return false
 	}
-	ca, cb := s.Causes(a), s.Causes(b)
+	ca, cb := s.causesCached(a), s.causesCached(b)
 	for x := range ca {
 		for y, ok := range s.Conflicts[x] {
 			if ok && cb[y] {
@@ -316,9 +363,60 @@ func (s *Structure) InConflict(a, b EventID) bool {
 // otherwise, giving a continuation copy a causal history that is itself
 // inconsistent. Such a copy occurs in no configuration, so any concurrency
 // involving it is an artifact of the encoding, not a behaviour.
+//
+// Verdicts are memoized per unordered pair: the model checker's sibling-write
+// pruning asks the same joint-history questions against an immutable
+// denotation throughout an exploration.
 func (s *Structure) Consistent(a, b EventID) bool {
-	h := s.Causes(a)
-	for x := range s.Causes(b) {
+	m := s.memoized()
+	key := [2]EventID{min(a, b), max(a, b)}
+	if v, ok := m.consistent[key]; ok {
+		return v
+	}
+	ca, cb := s.causesCached(a), s.causesCached(b)
+	v := true
+scan:
+	for _, c := range [2]map[EventID]bool{ca, cb} {
+		for x := range c {
+			for y := range s.Conflicts[x] {
+				if ca[y] || cb[y] {
+					v = false
+					break scan
+				}
+			}
+		}
+	}
+	m.consistent[key] = v
+	return v
+}
+
+// consistentUncached recomputes the joint-history scan from scratch (causes
+// rebuilt per call, nothing memoized) — the original implementation, retained
+// as the memoized path's property-test oracle and benchmark baseline.
+func (s *Structure) consistentUncached(a, b EventID) bool {
+	rebuild := func(e EventID) map[EventID]bool {
+		rev := map[EventID][]EventID{}
+		for from, tos := range s.Enables {
+			for to := range tos {
+				rev[to] = append(rev[to], from)
+			}
+		}
+		out := map[EventID]bool{e: true}
+		stack := []EventID{e}
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, p := range rev[cur] {
+				if !out[p] {
+					out[p] = true
+					stack = append(stack, p)
+				}
+			}
+		}
+		return out
+	}
+	h := rebuild(a)
+	for x := range rebuild(b) {
 		h[x] = true
 	}
 	for x := range h {

@@ -1,0 +1,168 @@
+package events
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// randStructure builds a random DAG of n events with edge probability pEdge
+// (edges only from lower to higher IDs, so acyclicity holds by construction)
+// and about nConf random minimal-conflict pairs.
+func randStructure(rng *rand.Rand, n int, pEdge float64, nConf int) *Structure {
+	s := NewStructure()
+	ids := make([]EventID, n)
+	for i := 0; i < n; i++ {
+		ids[i] = s.Add(Label{Kind: KindAdHoc, Key: fmt.Sprintf("e%d", i)}).ID
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < pEdge {
+				s.Enable(ids[i], ids[j])
+			}
+		}
+	}
+	for k := 0; k < nConf; k++ {
+		a, b := ids[rng.Intn(n)], ids[rng.Intn(n)]
+		s.Conflict(a, b)
+	}
+	return s
+}
+
+// bruteLeq computes the reflexive-transitive closure of immediate enablement
+// independently of Causes (naive fixpoint), as the property-test oracle.
+func bruteLeq(s *Structure) map[[2]EventID]bool {
+	leq := map[[2]EventID]bool{}
+	for _, id := range s.IDs() {
+		leq[[2]EventID{id, id}] = true
+	}
+	for from, tos := range s.Enables {
+		for to := range tos {
+			leq[[2]EventID{from, to}] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, a := range s.IDs() {
+			for _, b := range s.IDs() {
+				if leq[[2]EventID{a, b}] {
+					continue
+				}
+				for _, c := range s.IDs() {
+					if leq[[2]EventID{a, c}] && leq[[2]EventID{c, b}] {
+						leq[[2]EventID{a, b}] = true
+						changed = true
+						break
+					}
+				}
+			}
+		}
+	}
+	return leq
+}
+
+// TestMemoPropertyConflictInheritance checks the memoized derived relations
+// against from-scratch oracles over random DAGs, interleaving mutations with
+// queries so a stale cache would be caught: InConflict must equal the
+// inheritance definition (∃ x ≤ a, y ≤ b with x # y minimal), Leq must equal
+// the brute-force closure, and Consistent must equal its uncached original.
+func TestMemoPropertyConflictInheritance(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s := randStructure(rng, 6+rng.Intn(20), 0.05+rng.Float64()*0.2, 2+rng.Intn(10))
+
+		checkAll := func(stage string) {
+			t.Helper()
+			leq := bruteLeq(s)
+			ids := s.IDs()
+			for _, a := range ids {
+				for _, b := range ids {
+					if got, want := s.Leq(a, b), leq[[2]EventID{a, b}]; got != want {
+						t.Fatalf("seed %d %s: Leq(%d,%d) = %v, oracle %v", seed, stage, a, b, got, want)
+					}
+					wantConf := false
+					if a != b {
+					inherit:
+						for _, x := range ids {
+							if !leq[[2]EventID{x, a}] {
+								continue
+							}
+							for y := range s.Conflicts[x] {
+								if leq[[2]EventID{y, b}] {
+									wantConf = true
+									break inherit
+								}
+							}
+						}
+					}
+					if got := s.InConflict(a, b); got != wantConf {
+						t.Fatalf("seed %d %s: InConflict(%d,%d) = %v, inheritance oracle %v", seed, stage, a, b, got, wantConf)
+					}
+					if got, want := s.Consistent(a, b), s.consistentUncached(a, b); got != want {
+						t.Fatalf("seed %d %s: Consistent(%d,%d) = %v, uncached %v", seed, stage, a, b, got, want)
+					}
+				}
+			}
+		}
+
+		checkAll("initial")
+		// Mutate under a warm cache: new events, edges and conflicts must all
+		// invalidate, including edges that retroactively extend causal
+		// histories of already-queried pairs.
+		ids := s.IDs()
+		fresh := s.Add(Label{Kind: KindAdHoc, Key: "fresh"})
+		s.Enable(ids[rng.Intn(len(ids))], fresh.ID)
+		s.Conflict(fresh.ID, ids[rng.Intn(len(ids))])
+		if len(ids) >= 2 {
+			s.Enable(ids[0], ids[len(ids)-1])
+		}
+		checkAll("mutated")
+	}
+}
+
+// TestMemoCopySemantics pins that the public Causes still hands out a map the
+// caller may mutate without corrupting later queries.
+func TestMemoCopySemantics(t *testing.T) {
+	s := NewStructure()
+	a := s.Add(Label{Kind: KindAdHoc, Key: "a"})
+	b := s.Add(Label{Kind: KindAdHoc, Key: "b"})
+	s.Enable(a.ID, b.ID)
+	h := s.Causes(b.ID)
+	h[EventID(99)] = true // caller-side mutation (Consistent's old usage pattern)
+	if got := s.Causes(b.ID); got[EventID(99)] {
+		t.Fatal("caller mutation leaked into the memoized causes set")
+	}
+	if !s.Leq(a.ID, b.ID) {
+		t.Fatal("Leq lost a ≤ b after caller mutation")
+	}
+}
+
+// BenchmarkConsistent prices the repeated-query pattern the model checker
+// drives: all-pairs Consistent over a fixed structure, memoized vs the
+// original from-scratch scan.
+func BenchmarkConsistent(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	s := randStructure(rng, 120, 0.04, 60)
+	ids := s.IDs()
+	pairs := make([][2]EventID, 0, 512)
+	for len(pairs) < cap(pairs) {
+		pairs = append(pairs, [2]EventID{ids[rng.Intn(len(ids))], ids[rng.Intn(len(ids))]})
+	}
+	b.Run("memoized", func(b *testing.B) {
+		s.invalidate()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p := pairs[i%len(pairs)]
+			s.Consistent(p[0], p[1])
+		}
+	})
+	b.Run("uncached", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p := pairs[i%len(pairs)]
+			s.consistentUncached(p[0], p[1])
+		}
+	})
+}

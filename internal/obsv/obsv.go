@@ -85,6 +85,16 @@ const (
 	// EvSubWake: a keyed KV subscription wake was delivered (Key = the
 	// table key that changed).
 	EvSubWake
+
+	// Model-checker trace vocabulary (internal/check): counterexample
+	// schedules serialize as ordinary trace events plus these three.
+	// EvCheckEnvInject marks an environment-injected proposition update
+	// (Junction = target, Key = proposition); the two terminal kinds mark
+	// the violation the schedule reaches (Key = detail, e.g. the violated
+	// invariant's name).
+	EvCheckEnvInject
+	EvCheckDeadlock
+	EvCheckInvariant
 )
 
 var kindNames = map[Kind]string{
@@ -111,6 +121,9 @@ var kindNames = map[Kind]string{
 	EvDriverWakeEvent:     "driver.wake.event",
 	EvDriverWakePoll:      "driver.wake.poll",
 	EvSubWake:             "sub.wake",
+	EvCheckEnvInject:      "check.env-inject",
+	EvCheckDeadlock:       "check.deadlock",
+	EvCheckInvariant:      "check.invariant-violated",
 }
 
 // String returns the dotted event name used in JSONL output.

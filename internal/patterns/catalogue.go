@@ -16,6 +16,12 @@ type CatalogueEntry struct {
 	Doc          string
 	Build        func() *dsl.Program
 	Suppressions []analysis.Suppression
+	// CheckVerdict is the expected bounded-model-checker verdict for the
+	// entry ("clean", "clean-bounded", "deadlock", "invariant", "liveness");
+	// csawc -check-all fails when the computed verdict drifts from it.
+	CheckVerdict string
+	// CheckNote records why a non-"clean" verdict is expected.
+	CheckNote string
 }
 
 // Catalogue returns the built-in architecture catalogue in stable order.
@@ -34,6 +40,7 @@ func Catalogue() []CatalogueEntry {
 			Build: func() *dsl.Program {
 				return Snapshot(SnapshotConfig{Timeout: t, Capture: nopSrc, Apply: nopSink})
 			},
+			CheckVerdict: "clean",
 		},
 		{
 			Name: "sharding",
@@ -45,6 +52,7 @@ func Catalogue() []CatalogueEntry {
 					CaptureRequest: nopSrc, HandleRequest: nopHandle, DeliverResponse: nopSink,
 				})
 			},
+			CheckVerdict: "clean",
 		},
 		{
 			Name: "parallel-sharding",
@@ -65,6 +73,8 @@ func Catalogue() []CatalogueEntry {
 				Match:  `data "m" is written but never read`,
 				Reason: "Fig. 6 computes but never delivers responses: each back-end retains its reply in m for host-side consumption only",
 			}},
+			CheckVerdict: "clean-bounded",
+			CheckNote:    "the 3-backend parallel engage with host havocs saturates the default state cap; no violation in the explored prefix",
 		},
 		{
 			Name: "caching",
@@ -79,6 +89,7 @@ func Catalogue() []CatalogueEntry {
 					ComputeF:    nopHandle,
 				})
 			},
+			CheckVerdict: "clean",
 		},
 		{
 			Name: "failover",
@@ -91,6 +102,8 @@ func Catalogue() []CatalogueEntry {
 					HandleRequest: nopHandle, DeliverResponse: nopSink, CaptureState: nopSrc,
 				})
 			},
+			CheckVerdict: "liveness",
+			CheckNote:    "the request-driven junctions (f::c, the backends' serve) fire only on client requests beyond the default environment budget; no safety violation within the bound",
 		},
 		{
 			Name: "watched-failover",
@@ -106,6 +119,8 @@ func Catalogue() []CatalogueEntry {
 				Match:  `proposition "nofailover" is written remotely`,
 				Reason: "Fig. 16 fidelity: the watchdog asserts nofailover at both the primary and f; only f consults it, but the declaration at o is required for the watchdog's assert to be deliverable",
 			}},
+			CheckVerdict: "liveness",
+			CheckNote:    "the watchdog's recovery junctions are guarded on instance crashes (¬@running) and crash faults are outside the checker's transition relation",
 		},
 	}
 }

@@ -1,0 +1,89 @@
+package patterns
+
+import (
+	"csaw/internal/dsl"
+	"csaw/internal/formula"
+)
+
+// NegativeDeadlock builds a deliberately deadlocking two-party handshake:
+// a::j retracts its go-flag and waits for an acknowledgment it only requests
+// AFTER the wait — while b::j, the only writer of that acknowledgment, is
+// guarded on the request. Neither side can proceed: a classic circular wait
+// the bounded checker must find, with no environment escape hatch (every
+// guard/wait proposition has a program writer, so none is injectable).
+func NegativeDeadlock() *dsl.Program {
+	p := dsl.NewProgram()
+	p.Type("TA").Junction("j", dsl.Def(
+		dsl.Decls(
+			dsl.InitProp{Name: "GoA", Init: true},
+			dsl.InitProp{Name: "AckB", Init: false},
+		),
+		dsl.Retract{Prop: dsl.PR("GoA")},
+		// Wrong order: the wait precedes the request that would satisfy it.
+		dsl.Wait{Cond: formula.P("AckB")},
+		dsl.Assert{Target: dsl.J("b", "j"), Prop: dsl.PR("ReqB")},
+	).Guarded(formula.P("GoA")))
+	p.Type("TB").Junction("j", dsl.Def(
+		dsl.Decls(
+			dsl.InitProp{Name: "ReqB", Init: false},
+		),
+		dsl.Assert{Target: dsl.J("a", "j"), Prop: dsl.PR("AckB")},
+		dsl.Retract{Prop: dsl.PR("ReqB")},
+	).Guarded(formula.P("ReqB")))
+	p.Instance("a", "TA").Instance("b", "TB")
+	p.SetMain(dsl.Seq{dsl.Start{Instance: "a"}, dsl.Start{Instance: "b"}})
+	return p
+}
+
+// NegativeInvariant builds a program whose declared invariant is violated at
+// quiescence: a::j marks itself Done and notifies the monitor m::watch, but
+// the notification sits in m's pending queue until m's next scheduling — so
+// the configuration where Done holds and Busy does not is reachable (and is
+// exactly what Done ⇒ Busy forbids). The paper's local-priority/pending
+// semantics make this window real, not a checker artifact.
+func NegativeInvariant() *dsl.Program {
+	p := dsl.NewProgram()
+	p.Type("TW").Junction("j", dsl.Def(
+		dsl.Decls(
+			dsl.InitProp{Name: "Go", Init: true},
+			dsl.InitProp{Name: "Done", Init: false},
+		),
+		dsl.Retract{Prop: dsl.PR("Go")},
+		dsl.Assert{Prop: dsl.PR("Done")},
+		dsl.Assert{Target: dsl.J("m", "watch"), Prop: dsl.PR("Busy")},
+	).Guarded(formula.P("Go")))
+	p.Type("TM").Junction("watch", dsl.Def(
+		dsl.Decls(
+			dsl.InitProp{Name: "Busy", Init: false},
+		),
+		dsl.Retract{Prop: dsl.PR("Busy")},
+	).Guarded(formula.P("Busy")))
+	p.Instance("a", "TW").Instance("m", "TM")
+	p.SetMain(dsl.Seq{dsl.Start{Instance: "a"}, dsl.Start{Instance: "m"}})
+	p.Invariant("done-implies-busy",
+		formula.Implies(formula.At("a::j", "Done"), formula.At("m::watch", "Busy")))
+	return p
+}
+
+// Negatives returns the deliberately-broken example architectures: programs
+// the checker must flag, each annotated with its expected verdict. They are
+// kept out of Catalogue() — tools iterating the catalogue see only the
+// paper's patterns — but csawc -check-all covers both sets.
+func Negatives() []CatalogueEntry {
+	return []CatalogueEntry{
+		{
+			Name:         "negative-deadlock",
+			Doc:          "circular two-party wait: the request is sent after the wait for its acknowledgment",
+			Build:        NegativeDeadlock,
+			CheckVerdict: "deadlock",
+			CheckNote:    "a::j blocks on wait[AckB]; b::j, the only AckB writer, is guarded on a request a::j never sent",
+		},
+		{
+			Name:         "negative-invariant",
+			Doc:          "Done asserted locally while the Busy notification is still pending at the monitor",
+			Build:        NegativeInvariant,
+			CheckVerdict: "invariant",
+			CheckNote:    "done-implies-busy is false in the quiescent window before m::watch absorbs the pending Busy",
+		},
+	}
+}

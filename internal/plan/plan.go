@@ -12,6 +12,7 @@
 package plan
 
 import (
+	"sort"
 	"strings"
 
 	"csaw/internal/analysis"
@@ -80,10 +81,22 @@ type Junction struct {
 	Guard *ReadSet
 }
 
+// Invariant is the lowered form of one program-level invariant declaration:
+// the formula plus, per referenced junction FQ, the proposition keys the
+// formula reads there (@-predicates like @running are evaluated from
+// liveness state, not the table, and are omitted from Reads).
+type Invariant struct {
+	Name string
+	Cond formula.Formula
+	// Reads maps "inst::junction" to the sorted table keys read there.
+	Reads map[string][]string
+}
+
 // Program is the lowered form of a whole architecture.
 type Program struct {
-	Prog      *dsl.Program
-	Junctions map[string]*Junction
+	Prog       *dsl.Program
+	Junctions  map[string]*Junction
+	Invariants []Invariant
 }
 
 // Compile lowers a validated program. It never fails: anything it cannot
@@ -100,7 +113,43 @@ func Compile(p *dsl.Program) *Program {
 		}
 		out.Junctions[ji.FQ] = pj
 	}
+	for _, inv := range p.Invariants {
+		out.Invariants = append(out.Invariants, compileInvariant(p, inv))
+	}
 	return out
+}
+
+// compileInvariant resolves each qualified proposition of an invariant to the
+// junction FQ + table key it reads. Validation guarantees every junction
+// resolves; @-prefixed predicates keep the junction entry (so the checker
+// knows the invariant observes that junction) but contribute no table key.
+func compileInvariant(p *dsl.Program, inv dsl.Invariant) Invariant {
+	li := Invariant{Name: inv.Name, Cond: inv.Cond, Reads: map[string][]string{}}
+	seen := map[string]map[string]bool{}
+	for _, pr := range formula.Props(inv.Cond) {
+		if pr.Junction == "" {
+			continue
+		}
+		fq := pr.Junction
+		if !strings.Contains(fq, "::") {
+			if inst, jn, err := dsl.ResolveElemJunction(p, fq); err == nil {
+				fq = inst + "::" + jn
+			}
+		}
+		if seen[fq] == nil {
+			seen[fq] = map[string]bool{}
+			li.Reads[fq] = []string{}
+		}
+		if strings.HasPrefix(pr.Name, "@") || seen[fq][pr.Name] {
+			continue
+		}
+		seen[fq][pr.Name] = true
+		li.Reads[fq] = append(li.Reads[fq], pr.Name)
+	}
+	for fq := range li.Reads {
+		sort.Strings(li.Reads[fq])
+	}
+	return li
 }
 
 // FormulaReadSet computes the local keys formula f consults when evaluated

@@ -1,0 +1,145 @@
+package plan_test
+
+import (
+	"sort"
+	"testing"
+
+	"csaw/internal/analysis"
+	"csaw/internal/dsl"
+	"csaw/internal/formula"
+	"csaw/internal/plan"
+)
+
+// infoOf compiles a single-junction program and returns its analysis facts.
+func infoOf(t *testing.T, decls []dsl.Decl, body ...dsl.Expr) *analysis.JunctionInfo {
+	t.Helper()
+	p := dsl.NewProgram()
+	p.Type("T").Junction("j", dsl.Def(decls, body...))
+	p.Instance("a", "T")
+	p.SetMain(dsl.Start{Instance: "a"})
+	ctx := analysis.NewContext(p, 0)
+	ji := ctx.Lookup("a::j")
+	if ji == nil {
+		t.Fatal("a::j missing from analysis context")
+	}
+	return ji
+}
+
+// A wait nested in a transaction can admit remote updates mid-transaction, so
+// its admission keys (formula props AND waited data) must appear in the txn
+// write-set — a rollback has to restore them.
+func TestTxnWriteSetIncludesWaitAdmittedKeys(t *testing.T) {
+	ji := infoOf(t,
+		dsl.Decls(
+			dsl.InitProp{Name: "Ack", Init: false},
+			dsl.InitProp{Name: "Done", Init: false},
+			dsl.InitData{Name: "reply"},
+		),
+		dsl.Txn{Body: []dsl.Expr{
+			dsl.Wait{Cond: formula.P("Ack"), Data: []string{"reply"}},
+			dsl.Assert{Prop: dsl.PropRef{Base: "Done"}},
+		}},
+	)
+	ws := plan.CompileTxn(ji, []dsl.Expr{dsl.Wait{Cond: formula.P("Ack"), Data: []string{"reply"}}, dsl.Assert{Prop: dsl.PropRef{Base: "Done"}}})
+	if ws.Full {
+		t.Fatalf("statically boundable txn degraded to Full: %+v", ws)
+	}
+	props := append([]string(nil), ws.Props...)
+	sort.Strings(props)
+	if len(props) != 2 || props[0] != "Ack" || props[1] != "Done" {
+		t.Fatalf("txn props = %v, want [Ack Done] (wait-admitted Ack must be snapshotted)", ws.Props)
+	}
+	if len(ws.Data) != 1 || ws.Data[0] != "reply" {
+		t.Fatalf("txn data = %v, want [reply] (wait-admitted data must be snapshotted)", ws.Data)
+	}
+}
+
+// An idx over a set with no elements has a known-but-empty universe: the
+// family expands to zero keys without degrading to Remote/Unbounded. (Such
+// programs fail Validate — sets are fixed nonzero — but plan.Compile promises
+// graceful degradation on anything, and the checker leans on that.)
+func TestIdxFamilyExpansionOverEmptyUniverse(t *testing.T) {
+	ji := infoOf(t,
+		dsl.Decls(
+			dsl.DeclSet{Name: "S", Elems: nil},
+			dsl.DeclIdx{Name: "tgt", Of: "S"},
+		),
+		dsl.Skip{},
+	)
+	rs := plan.FormulaReadSet(ji, formula.Not(dsl.PropIdx("Work", "tgt")))
+	if !rs.Idx {
+		t.Fatalf("idx-indexed read not flagged Idx: %+v", rs)
+	}
+	if rs.Unbounded || rs.Remote {
+		t.Fatalf("known-empty universe misclassified Unbounded/Remote: %+v", rs)
+	}
+	if len(rs.Props) != 0 {
+		t.Fatalf("empty universe expanded to keys %v", rs.Props)
+	}
+
+	// An undeclared idx, by contrast, is an unknown universe: Unbounded+Remote.
+	rs = plan.FormulaReadSet(ji, formula.Not(dsl.PropIdx("Work", "nope")))
+	if !rs.Unbounded || !rs.Remote {
+		t.Fatalf("unknown universe must be Unbounded+Remote: %+v", rs)
+	}
+}
+
+// Invariants lower to per-junction read maps: bare single-junction instance
+// qualifiers resolve to FQs, @-predicates keep the junction entry without a
+// table key, duplicates collapse, keys sort.
+func TestCompileInvariants(t *testing.T) {
+	p := dsl.NewProgram()
+	p.Type("T").Junction("j", dsl.Def(
+		dsl.Decls(dsl.InitProp{Name: "B", Init: false}, dsl.InitProp{Name: "A", Init: false}),
+		dsl.Skip{},
+	))
+	p.Instance("a", "T").Instance("b", "T")
+	p.SetMain(dsl.Start{Instance: "a"}, dsl.Start{Instance: "b"})
+	p.Invariant("inv", formula.And(
+		formula.And(formula.At("a::j", "B"), formula.At("a::j", "A")),
+		formula.And(formula.At("a::j", "B"), formula.At("b", "@running")),
+	))
+	if err := dsl.Validate(p); err != nil {
+		t.Fatal(err)
+	}
+	pp := plan.Compile(p)
+	if len(pp.Invariants) != 1 {
+		t.Fatalf("invariants = %d, want 1", len(pp.Invariants))
+	}
+	inv := pp.Invariants[0]
+	if inv.Name != "inv" || inv.Cond == nil {
+		t.Fatalf("lowered invariant lost name/formula: %+v", inv)
+	}
+	got := inv.Reads["a::j"]
+	if len(got) != 2 || got[0] != "A" || got[1] != "B" {
+		t.Fatalf("a::j reads = %v, want sorted [A B]", got)
+	}
+	if reads, ok := inv.Reads["b::j"]; !ok || len(reads) != 0 {
+		t.Fatalf("bare-instance @running qualifier: reads[b::j] = %v (present=%v), want empty entry", reads, ok)
+	}
+}
+
+// me:: self tokens resolve to concrete local keys at lowering time: a prop
+// family indexed by me::instance reads the local table, so the read-set must
+// stay LocalOnly — only junction-qualified props and @-predicates are Remote.
+func TestMeResolvedReadsStayLocal(t *testing.T) {
+	ji := infoOf(t,
+		dsl.Decls(dsl.InitProp{Name: dsl.IndexedName("Init", "me::instance"), Init: false}),
+		dsl.Skip{},
+	)
+	rs := plan.FormulaReadSet(ji, formula.P(dsl.IndexedName("Init", "me::instance")))
+	if rs.Remote {
+		t.Fatalf("me::instance-resolved local read classified Remote: %+v", rs)
+	}
+	want := dsl.IndexedName("Init", "a")
+	if len(rs.Props) != 1 || rs.Props[0] != want {
+		t.Fatalf("props = %v, want [%s]", rs.Props, want)
+	}
+
+	// A junction-qualified read stays Remote even when the qualifier is a
+	// me:: token — the local table cannot observe another junction's keys.
+	rs = plan.FormulaReadSet(ji, formula.At("me::instance::j", "Init[a]"))
+	if !rs.Remote {
+		t.Fatalf("junction-qualified me:: read not Remote: %+v", rs)
+	}
+}

@@ -63,6 +63,12 @@ type Options struct {
 	// sampling around junction bodies) without a trace sink, so
 	// System.Metrics() reports scheduling quantiles. Implied by Trace.
 	Metrics bool
+	// DisableDrivers suppresses the automatic driver loops of guarded
+	// junctions: nothing schedules unless the application (or a replay
+	// harness) calls Invoke/InvokeWhenReady explicitly. The model checker's
+	// counterexample replay (internal/check) depends on this — a driver racing
+	// the replayed schedule would perturb the very interleaving under test.
+	DisableDrivers bool
 	// Vet runs the static-analysis pass suite (internal/analysis) over the
 	// program at construction time and refuses to build a system whose
 	// program carries error-severity findings (unreachable junctions,
@@ -307,9 +313,11 @@ func (s *System) startLocked(name string, args any) error {
 	// Junctions are started concurrently in an arbitrary order (paper §6):
 	// guarded junctions get driver loops; unguarded junctions are scheduled
 	// by application logic through Invoke.
-	for _, j := range inst.junctions {
-		if j.def.Guard != nil && !j.def.Manual {
-			j.startDriver()
+	if !s.opts.DisableDrivers {
+		for _, j := range inst.junctions {
+			if j.def.Guard != nil && !j.def.Manual {
+				j.startDriver()
+			}
 		}
 	}
 	return nil
