@@ -43,6 +43,10 @@ const (
 	KindData
 	// KindControl carries instance lifecycle control.
 	KindControl
+	// KindBatch is a transport-level envelope packing several encoded
+	// messages into one frame (batch.go). It never reaches application
+	// handlers: the TCP server unpacks it and injects the inner messages.
+	KindBatch MessageKind = 63
 	// KindUser is the first kind available to applications.
 	KindUser MessageKind = 64
 )
@@ -61,6 +65,13 @@ type Message struct {
 // goroutine and must not block for long.
 type Handler func(Message)
 
+// BatchHandler receives a delivery group: several messages for the same
+// endpoint that crossed the network together (one decoded KindBatch
+// envelope, grouped by destination). Like Handler it runs on the delivering
+// goroutine. Endpoints registered without one (Register) receive group
+// members individually through their Handler.
+type BatchHandler func([]Message)
+
 // LinkConfig describes the behaviour of a directed link.
 type LinkConfig struct {
 	// Latency delays each delivery by the given duration.
@@ -78,6 +89,7 @@ type linkKey struct{ from, to string }
 type endpoint struct {
 	name    string
 	handler Handler
+	batch   BatchHandler
 	up      bool
 	stats   EndpointStats
 }
@@ -125,6 +137,15 @@ func (n *Network) Register(name string, h Handler) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.endpoints[name] = &endpoint{name: name, handler: h, up: true}
+}
+
+// RegisterBatch creates (or revives) an endpoint that additionally accepts
+// whole delivery groups through bh; single-message Sends still arrive
+// through h.
+func (n *Network) RegisterBatch(name string, h Handler, bh BatchHandler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.endpoints[name] = &endpoint{name: name, handler: h, batch: bh, up: true}
 }
 
 // Deregister removes an endpoint entirely.
@@ -311,6 +332,177 @@ func (n *Network) Send(msg Message) error {
 		handler(msg)
 	})
 	return nil
+}
+
+// batchGroup is one delivery group being assembled inside SendBatch: the
+// surviving messages for one destination endpoint sharing one sampled delay.
+type batchGroup struct {
+	to    string
+	delay time.Duration
+	msgs  []Message
+}
+
+// SendBatch delivers a group of messages with per-message link accounting
+// but grouped delivery: surviving messages for the same destination are
+// handed to the endpoint's BatchHandler in one call (falling back to the
+// per-message Handler when none is registered). Each message is individually
+// subject to its link's partition/drop configuration, preserving the
+// conservation invariant exactly as N Send calls would; latency and jitter
+// are sampled once per directed link per batch, so a group crosses a lossy
+// link as one unit rather than fanning out into per-message timers. Errors
+// (down endpoints, partitions) are silent, as for a server-injected message.
+func (n *Network) SendBatch(msgs []Message) {
+	if len(msgs) == 0 {
+		return
+	}
+	start := time.Now()
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	var groups []*batchGroup
+	// Delay memo per link: a slice beats a map at the 1-2 distinct links a
+	// typical delivery group spans, and allocates nothing.
+	type linkDelay struct {
+		key linkKey
+		d   time.Duration
+	}
+	var delayMemo [4]linkDelay
+	delays := delayMemo[:0]
+	for _, msg := range msgs {
+		key := linkKey{msg.From, msg.To}
+		ls := n.linkStatsLocked(key)
+		n.stats.Sent++
+		ls.Sent++
+		ep, ok := n.endpoints[msg.To]
+		if !ok || !ep.up {
+			n.stats.Rejected++
+			ls.Rejected++
+			if ok {
+				ep.stats.Rejected++
+			}
+			continue
+		}
+		cfg := n.linkLocked(key)
+		if cfg.Partitioned {
+			n.stats.Rejected++
+			ls.Rejected++
+			ep.stats.Rejected++
+			continue
+		}
+		if cfg.DropProb > 0 && n.rng.Float64() < cfg.DropProb {
+			n.stats.Dropped++
+			ls.Dropped++
+			continue
+		}
+		var delay time.Duration
+		sampled := false
+		for _, ld := range delays {
+			if ld.key == key {
+				delay, sampled = ld.d, true
+				break
+			}
+		}
+		if !sampled {
+			delay = cfg.Latency
+			if cfg.Jitter > 0 {
+				delay += time.Duration(n.rng.Int63n(int64(cfg.Jitter)))
+			}
+			delays = append(delays, linkDelay{key, delay})
+		}
+		var g *batchGroup
+		for _, c := range groups {
+			if c.to == msg.To && c.delay == delay {
+				g = c
+				break
+			}
+		}
+		if g == nil {
+			g = &batchGroup{to: msg.To, delay: delay}
+			if len(groups) == 0 {
+				// Most delivery groups have a single destination: presize
+				// the first group for the whole batch.
+				g.msgs = make([]Message, 0, len(msgs))
+			}
+			groups = append(groups, g)
+		}
+		g.msgs = append(g.msgs, msg)
+	}
+	// Immediate groups are counted Delivered and their handlers captured
+	// under the lock, exactly like Send's synchronous path.
+	type ready struct {
+		h    Handler
+		bh   BatchHandler
+		msgs []Message
+	}
+	var run []ready
+	for _, g := range groups {
+		if g.delay > 0 {
+			n.pending.Add(1)
+			continue
+		}
+		ep := n.endpoints[g.to]
+		for _, m := range g.msgs {
+			n.stats.Delivered++
+			ep.stats.Delivered++
+			ls := n.linkStatsLocked(linkKey{m.From, m.To})
+			ls.Delivered++
+			ls.Latency.observe(time.Since(start))
+		}
+		run = append(run, ready{h: ep.handler, bh: ep.batch, msgs: g.msgs})
+	}
+	n.mu.Unlock()
+	for _, r := range run {
+		deliverGroup(r.h, r.bh, r.msgs)
+	}
+	for _, g := range groups {
+		if g.delay <= 0 {
+			continue
+		}
+		g := g
+		time.AfterFunc(g.delay, func() { n.deliverDelayedGroup(start, g) })
+	}
+}
+
+// deliverDelayedGroup finishes a delayed SendBatch group: liveness is
+// re-checked once for the whole group at delivery time, and a crash during
+// flight loses (and counts) every member together.
+func (n *Network) deliverDelayedGroup(start time.Time, g *batchGroup) {
+	defer n.pending.Done()
+	n.mu.Lock()
+	ep, ok := n.endpoints[g.to]
+	if n.closed || !ok || !ep.up {
+		for _, m := range g.msgs {
+			n.stats.LostInFlight++
+			n.linkStatsLocked(linkKey{m.From, m.To}).LostInFlight++
+			if ok {
+				ep.stats.LostInFlight++
+			}
+		}
+		n.mu.Unlock()
+		return
+	}
+	h, bh := ep.handler, ep.batch
+	for _, m := range g.msgs {
+		n.stats.Delivered++
+		ep.stats.Delivered++
+		ls := n.linkStatsLocked(linkKey{m.From, m.To})
+		ls.Delivered++
+		ls.Latency.observe(time.Since(start))
+	}
+	n.mu.Unlock()
+	deliverGroup(h, bh, g.msgs)
+}
+
+func deliverGroup(h Handler, bh BatchHandler, msgs []Message) {
+	if bh != nil {
+		bh(msgs)
+		return
+	}
+	for _, m := range msgs {
+		h(m)
+	}
 }
 
 // Close shuts the network down and waits for in-flight deliveries to drain.

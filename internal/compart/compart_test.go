@@ -1,7 +1,6 @@
 package compart
 
 import (
-	"bufio"
 	"errors"
 	"net"
 	"strings"
@@ -428,7 +427,7 @@ func TestUnixSocketTransport(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Reuse the client framing over the unix connection.
-	c := &Client{conn: conn, w: bufio.NewWriter(conn)}
+	c := NewClient(conn, ClientConfig{})
 	defer c.Close()
 	if err := c.Send(Message{From: "f::junction", To: "g::junction", Kind: KindData, Key: "n", Payload: []byte("over a pipe")}); err != nil {
 		t.Fatal(err)
@@ -461,7 +460,7 @@ func TestNetPipeTransport(t *testing.T) {
 	}()
 	defer client.Close()
 
-	c := &Client{conn: client, w: bufio.NewWriter(client)}
+	c := NewClient(client, ClientConfig{})
 	if err := c.Send(Message{To: "sink", Key: "k", Payload: []byte("x")}); err != nil {
 		t.Fatal(err)
 	}

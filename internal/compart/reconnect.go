@@ -45,6 +45,10 @@ type ReconnectConfig struct {
 	// BackoffJitter adds a uniformly random fraction of the delay in
 	// [0, BackoffJitter) to desynchronize reconnect storms (default 0.2).
 	BackoffJitter float64
+	// NoBatch disables KindBatch coalescing (ablation): drained frames are
+	// written individually, reproducing the seed's one-frame-per-message
+	// wire shape (still one flush per drained run).
+	NoBatch bool
 	// Heartbeat enables transport-level pings at this interval; 0 disables.
 	// Missing HeartbeatMiss consecutive pongs tears the connection down so
 	// half-open connections are detected and redialed.
@@ -110,6 +114,12 @@ type ClientStats struct {
 	// Dropped counts messages rejected on a full queue, lost to a write
 	// error, or abandoned in the queue at Close.
 	Dropped uint64
+	// BatchesSent counts KindBatch envelope frames written; the messages
+	// inside count individually in Sent, so batching never perturbs the
+	// Enqueued == Sent + Dropped conservation invariant.
+	BatchesSent uint64
+	// MsgsPerBatch summarizes batch sizes (messages per envelope written).
+	MsgsPerBatch SizeHist
 	// Dials counts dial attempts; Connects counts the successful ones, so
 	// Connects-1 is the number of reconnections and Dials-Connects the
 	// failed attempts backed off from.
@@ -148,13 +158,15 @@ type ReconnectClient struct {
 	sendMu sync.RWMutex
 
 	enqueued, sent, dropped atomic.Uint64
+	batchesSent             atomic.Uint64
 	dials, connects         atomic.Uint64
 	hbSent, hbAcked         atomic.Uint64
 	connected               atomic.Bool
 
-	mu        sync.Mutex
-	sendLat   LatencySummary
-	listeners []func(up bool)
+	mu         sync.Mutex
+	sendLat    LatencySummary
+	batchSizes SizeHist
+	listeners  []func(up bool)
 }
 
 // DialReconnect returns a client that maintains a connection to addr in the
@@ -213,11 +225,14 @@ func (c *ReconnectClient) Connected() bool { return c.connected.Load() }
 func (c *ReconnectClient) Stats() ClientStats {
 	c.mu.Lock()
 	lat := c.sendLat
+	sizes := c.batchSizes
 	c.mu.Unlock()
 	return ClientStats{
 		Enqueued:        c.enqueued.Load(),
 		Sent:            c.sent.Load(),
 		Dropped:         c.dropped.Load(),
+		BatchesSent:     c.batchesSent.Load(),
+		MsgsPerBatch:    sizes,
 		Dials:           c.dials.Load(),
 		Connects:        c.connects.Load(),
 		HeartbeatsSent:  c.hbSent.Load(),
@@ -351,15 +366,34 @@ func (c *ReconnectClient) pump(conn net.Conn) {
 	}
 	var hbSeq uint64
 
-	write := func(f outFrame) bool {
-		if err := writeFrame(w, f.body); err != nil {
-			c.dropped.Add(1)
+	onBatch := func(msgs int) {
+		c.batchesSent.Add(1)
+		c.mu.Lock()
+		c.batchSizes.observe(msgs)
+		c.mu.Unlock()
+	}
+	bodies := make([][]byte, 0, maxCoalesce)
+	ats := make([]time.Time, 0, maxCoalesce)
+	// writeRun coalesces the drained frames into KindBatch envelopes (one
+	// wire frame and one flush per run) and keeps the accounting exact: on a
+	// write error the frames already handed to the writer count Sent, the
+	// rest of the run counts Dropped — they were dequeued and will not be
+	// retried on the next connection.
+	writeRun := func() bool {
+		written, err := writeCoalesced(w, bodies, c.cfg.NoBatch, onBatch)
+		c.sent.Add(uint64(written))
+		c.mu.Lock()
+		for _, at := range ats[:written] {
+			c.sendLat.observe(time.Since(at))
+		}
+		c.mu.Unlock()
+		if err == nil {
+			err = w.Flush()
+		}
+		if err != nil {
+			c.dropped.Add(uint64(len(bodies) - written))
 			return false
 		}
-		c.sent.Add(1)
-		c.mu.Lock()
-		c.sendLat.observe(time.Since(f.at))
-		c.mu.Unlock()
 		return true
 	}
 
@@ -371,23 +405,21 @@ func (c *ReconnectClient) pump(conn net.Conn) {
 		case <-readDead:
 			return
 		case f := <-c.queue:
-			if !write(f) {
-				return
-			}
-			// Opportunistically batch whatever else is queued into one
-			// flush — the bulk path after a reconnection.
-		batch:
-			for {
+			// Drain whatever else is queued into one coalesced run — the
+			// bulk path after a reconnection and under pipelined senders.
+			bodies = append(bodies[:0], f.body)
+			ats = append(ats[:0], f.at)
+		drain:
+			for len(bodies) < maxCoalesce {
 				select {
 				case f := <-c.queue:
-					if !write(f) {
-						return
-					}
+					bodies = append(bodies, f.body)
+					ats = append(ats, f.at)
 				default:
-					break batch
+					break drain
 				}
 			}
-			if err := w.Flush(); err != nil {
+			if !writeRun() {
 				return
 			}
 		case <-hb:

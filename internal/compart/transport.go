@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 )
@@ -26,10 +27,6 @@ const maxFrame = 16 << 20
 // maxFieldLen bounds the From/To/Key string fields, whose lengths are
 // encoded as uint16 on the wire.
 const maxFieldLen = 1<<16 - 1
-
-// maxRetainedFrameBuf caps the encode-scratch capacity a Client keeps
-// between sends.
-const maxRetainedFrameBuf = 1 << 20
 
 // heartbeatKey marks transport-level heartbeat frames. The NUL prefix keeps
 // it out of the application key namespace; heartbeats are answered by the
@@ -94,6 +91,14 @@ func AppendMessage(dst []byte, m Message) ([]byte, error) {
 
 // DecodeMessage parses a frame produced by EncodeMessage.
 func DecodeMessage(buf []byte) (Message, error) {
+	return decodeMessageIn(buf, nil, false)
+}
+
+// decodeMessageIn parses one frame. si (optional) interns the three address
+// strings; aliasPayload skips the payload copy, valid only when buf outlives
+// the message and is never rewritten (batch interiors inside a
+// fresh-per-frame read buffer).
+func decodeMessageIn(buf []byte, si strIntern, aliasPayload bool) (Message, error) {
 	var m Message
 	if len(buf) < 2 {
 		return m, fmt.Errorf("compart: short frame (%d bytes)", len(buf))
@@ -102,13 +107,13 @@ func DecodeMessage(buf []byte) (Message, error) {
 	m.Flag = buf[1] == 1
 	rest := buf[2:]
 	var err error
-	if m.From, rest, err = takeStr(rest); err != nil {
+	if m.From, rest, err = takeStrIn(rest, si); err != nil {
 		return m, err
 	}
-	if m.To, rest, err = takeStr(rest); err != nil {
+	if m.To, rest, err = takeStrIn(rest, si); err != nil {
 		return m, err
 	}
-	if m.Key, rest, err = takeStr(rest); err != nil {
+	if m.Key, rest, err = takeStrIn(rest, si); err != nil {
 		return m, err
 	}
 	if len(rest) < 4 {
@@ -120,9 +125,35 @@ func DecodeMessage(buf []byte) (Message, error) {
 		return m, fmt.Errorf("compart: payload length %d but %d bytes remain", n, len(rest))
 	}
 	if n > 0 {
-		m.Payload = append([]byte(nil), rest...)
+		if aliasPayload {
+			m.Payload = rest
+		} else {
+			m.Payload = append([]byte(nil), rest...)
+		}
 	}
 	return m, nil
+}
+
+// strIntern dedupes the small, repetitive universe of junction addresses and
+// keys a connection carries, so decoding a message's three strings is
+// allocation-free after first sight. Single-goroutine use (one per
+// serveConn). Capped so a pathological key universe degrades to plain
+// allocation rather than unbounded growth.
+type strIntern map[string]string
+
+// maxIntern bounds the cache; junction FQ names plus live KV keys of a
+// bridged deployment fit comfortably, and overflow just loses the dedup.
+const maxIntern = 8192
+
+func (si strIntern) get(b []byte) string {
+	if s, ok := si[string(b)]; ok { // lookup with string(b) does not allocate
+		return s
+	}
+	s := string(b)
+	if len(si) < maxIntern {
+		si[s] = s
+	}
+	return s
 }
 
 func varStrLen(s string) int { return 2 + len(s) }
@@ -134,7 +165,7 @@ func appendStr(buf []byte, s string) []byte {
 	return append(buf, s...)
 }
 
-func takeStr(buf []byte) (string, []byte, error) {
+func takeStrIn(buf []byte, si strIntern) (string, []byte, error) {
 	if len(buf) < 2 {
 		return "", nil, fmt.Errorf("compart: truncated string length")
 	}
@@ -142,6 +173,9 @@ func takeStr(buf []byte) (string, []byte, error) {
 	buf = buf[2:]
 	if len(buf) < n {
 		return "", nil, fmt.Errorf("compart: truncated string body")
+	}
+	if si != nil {
+		return si.get(buf[:n]), buf[n:], nil
 	}
 	return string(buf[:n]), buf[n:], nil
 }
@@ -175,15 +209,24 @@ func readFrame(r io.Reader) ([]byte, error) {
 	return body, nil
 }
 
-// ServerStats aggregates per-server transport counters.
+// ServerStats aggregates per-server transport counters. At quiescence the
+// number of messages injected into the network is
+// (Frames - Batches) + MsgsInBatches: every outer frame is either a single
+// message or a batch envelope whose members inject individually.
 type ServerStats struct {
 	// Conns counts connections accepted over the server's lifetime.
 	Conns uint64
-	// Frames counts frames decoded and injected into the network.
+	// Frames counts outer frames decoded and injected into the network
+	// (batch envelopes count once here; see Batches/MsgsInBatches).
 	Frames uint64
-	// DecodeErrors counts well-framed bodies that failed DecodeMessage.
-	// Such frames are dropped and counted; the connection keeps draining
-	// (the outer length prefix keeps the stream in sync).
+	// Batches counts KindBatch envelope frames unpacked.
+	Batches uint64
+	// MsgsInBatches counts the inner messages those envelopes carried.
+	MsgsInBatches uint64
+	// DecodeErrors counts well-framed bodies that failed DecodeMessage (or
+	// batch envelopes that failed DecodeBatch — a corrupt envelope drops as
+	// one unit). Such frames are dropped and counted; the connection keeps
+	// draining (the outer length prefix keeps the stream in sync).
 	DecodeErrors uint64
 	// Heartbeats counts heartbeat pings answered.
 	Heartbeats uint64
@@ -197,10 +240,12 @@ type Server struct {
 	l   net.Listener
 	wg  sync.WaitGroup
 
-	conns        atomic.Uint64
-	frames       atomic.Uint64
-	decodeErrors atomic.Uint64
-	heartbeats   atomic.Uint64
+	conns         atomic.Uint64
+	frames        atomic.Uint64
+	batches       atomic.Uint64
+	msgsInBatches atomic.Uint64
+	decodeErrors  atomic.Uint64
+	heartbeats    atomic.Uint64
 
 	mu      sync.Mutex
 	closed  bool
@@ -222,10 +267,12 @@ func (s *Server) Addr() net.Addr { return s.l.Addr() }
 // Stats returns a snapshot of the server's transport counters.
 func (s *Server) Stats() ServerStats {
 	return ServerStats{
-		Conns:        s.conns.Load(),
-		Frames:       s.frames.Load(),
-		DecodeErrors: s.decodeErrors.Load(),
-		Heartbeats:   s.heartbeats.Load(),
+		Conns:         s.conns.Load(),
+		Frames:        s.frames.Load(),
+		Batches:       s.batches.Load(),
+		MsgsInBatches: s.msgsInBatches.Load(),
+		DecodeErrors:  s.decodeErrors.Load(),
+		Heartbeats:    s.heartbeats.Load(),
 	}
 }
 
@@ -244,6 +291,7 @@ func (s *Server) acceptLoop() {
 		}
 		s.connSet[conn] = true
 		s.mu.Unlock()
+		setNoDelay(conn)
 		s.conns.Add(1)
 		s.wg.Add(1)
 		go s.serveConn(conn)
@@ -260,6 +308,9 @@ func (s *Server) serveConn(conn net.Conn) {
 	}()
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
+	// Per-connection intern cache: batch interiors repeat the same few
+	// addresses and keys tens of thousands of times a second.
+	si := make(strIntern)
 	for {
 		body, err := readFrame(r)
 		if err != nil {
@@ -280,6 +331,22 @@ func (s *Server) serveConn(conn net.Conn) {
 			if writeFrame(w, body) != nil || w.Flush() != nil {
 				return
 			}
+			continue
+		}
+		if msg.Kind == KindBatch {
+			inner, err := decodeBatch(msg.Payload, si)
+			if err != nil {
+				// A corrupt envelope drops as one unit; the outer length
+				// prefix kept the stream in sync.
+				s.decodeErrors.Add(1)
+				continue
+			}
+			s.frames.Add(1)
+			s.batches.Add(1)
+			s.msgsInBatches.Add(uint64(len(inner)))
+			// Inject the whole group at once: link configuration and fault
+			// injection apply per message, delivery stays grouped.
+			s.net.SendBatch(inner)
 			continue
 		}
 		s.frames.Add(1)
@@ -305,53 +372,267 @@ func (s *Server) Close() {
 	s.wg.Wait()
 }
 
-// Client is a single-connection sender to a remote Network's TCP server:
-// messages are framed and written to the socket; a connection error is
-// fatal. For a self-healing connection use DialReconnect (reconnect.go).
-type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	w    *bufio.Writer
-	enc  []byte // frame scratch: safe to reuse because Send flushes under mu
+// setNoDelay keeps TCP_NODELAY explicitly enabled (Go's default) on both
+// transport directions. Coalescing happens at the application level — the
+// writer packs back-to-back frames into KindBatch envelopes and flushes once
+// per drained run — so Nagle's algorithm would only add delay on top of
+// already-batched writes, never save a packet.
+func setNoDelay(conn net.Conn) {
+	if tc, ok := conn.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true)
+	}
 }
 
-// DialTCP connects to a remote compart server.
+// ClientConfig tunes DialTCP's coalescing writer. The zero value gives
+// usable defaults.
+type ClientConfig struct {
+	// QueueSize bounds the outbound queue (default 1024). Unlike the
+	// reconnecting client, a full queue blocks Send (backpressure) rather
+	// than dropping: the plain client is a reliable pipe whose only failure
+	// mode is the connection dying.
+	QueueSize int
+	// NoBatch reverts the writer to the seed client's behaviour (ablation):
+	// no KindBatch envelopes and one write+flush per frame, so the wire
+	// carries the seed's one-frame-per-message, one-syscall-per-frame shape.
+	NoBatch bool
+}
+
+func (c *ClientConfig) fill() {
+	if c.QueueSize <= 0 {
+		c.QueueSize = 1024
+	}
+}
+
+// Client is a single-connection sender to a remote Network's TCP server.
+// Send encodes synchronously (so framing errors surface to the caller) and
+// enqueues the frame; a background writer drains the queue, packing
+// back-to-back frames into KindBatch envelopes and flushing once per drained
+// run instead of once per message. A connection error is fatal: it surfaces
+// on the next Send. For a self-healing connection use DialReconnect
+// (reconnect.go).
+type Client struct {
+	cfg   ClientConfig
+	conn  net.Conn
+	queue chan []byte
+	done  chan struct{} // closed by Close
+	dead  chan struct{} // closed by the pump on a write error
+	wg    sync.WaitGroup
+	once  sync.Once
+
+	// sendMu excludes Send during Close's final accounting drain, so no
+	// frame can slip into the queue after Close counted the leftovers.
+	sendMu sync.RWMutex
+
+	enqueued, sent, dropped atomic.Uint64
+	batchesSent             atomic.Uint64
+
+	mu         sync.Mutex
+	err        error // sticky first write error
+	batchSizes SizeHist
+}
+
+// DialTCP connects to a remote compart server with default coalescing.
 func DialTCP(addr string) (*Client, error) {
+	return DialTCPConfig(addr, ClientConfig{})
+}
+
+// DialTCPConfig connects to a remote compart server with explicit writer
+// configuration (csaw-bench uses NoBatch for the batching ablation).
+func DialTCPConfig(addr string, cfg ClientConfig) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return &Client{conn: conn, w: bufio.NewWriter(conn)}, nil
+	setNoDelay(conn)
+	return NewClient(conn, cfg), nil
 }
 
-// Send frames and transmits a message to the remote network. Messages that
+// NewClient wraps an already-established connection (TCP, unix socket,
+// net.Pipe) in the client framing and coalescing writer. The client owns the
+// connection.
+func NewClient(conn net.Conn, cfg ClientConfig) *Client {
+	cfg.fill()
+	c := &Client{
+		cfg:   cfg,
+		conn:  conn,
+		queue: make(chan []byte, cfg.QueueSize),
+		done:  make(chan struct{}),
+		dead:  make(chan struct{}),
+	}
+	c.wg.Add(1)
+	go c.pump()
+	return c
+}
+
+// Send frames the message and enqueues it for transmission. Messages that
 // cannot be framed losslessly fail with ErrFieldTooLong or ErrFrameTooLarge
-// before any bytes hit the socket.
+// before any bytes hit the socket. A full queue blocks until the writer
+// catches up. A nil error means the frame was accepted for transmission; a
+// connection that has since died surfaces its write error here.
 func (c *Client) Send(msg Message) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	// Encode into the connection's scratch buffer: the previous frame was
-	// flushed before mu was released, so its bytes are dead by now.
-	body, err := AppendMessage(c.enc[:0], msg)
+	// Queued frames alias their buffer until the pump writes them, so each
+	// Send encodes into a fresh buffer.
+	body, err := EncodeMessage(msg)
 	if err != nil {
 		return err
 	}
-	if cap(body) <= maxRetainedFrameBuf {
-		c.enc = body
-	} else {
-		c.enc = nil // don't let one oversized frame pin memory
+	c.sendMu.RLock()
+	defer c.sendMu.RUnlock()
+	select {
+	case <-c.done:
+		return ErrClientClosed
+	case <-c.dead:
+		return c.deadErr()
+	default:
 	}
-	if err := writeFrame(c.w, body); err != nil {
-		return err
+	select {
+	case c.queue <- body:
+		c.enqueued.Add(1)
+		return nil
+	case <-c.done:
+		return ErrClientClosed
+	case <-c.dead:
+		return c.deadErr()
 	}
-	return c.w.Flush()
 }
 
-// Close closes the client connection.
-func (c *Client) Close() error {
+func (c *Client) deadErr() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.conn.Close()
+	return c.err
+}
+
+// Stats returns a snapshot of the client's counters: Enqueued frames are
+// eventually Sent (handed to the socket, solo or inside a batch envelope) or
+// Dropped (lost to a write error or abandoned at Close); BatchesSent counts
+// envelope frames and MsgsPerBatch summarizes their sizes.
+func (c *Client) Stats() ClientStats {
+	c.mu.Lock()
+	sizes := c.batchSizes
+	c.mu.Unlock()
+	return ClientStats{
+		Enqueued:     c.enqueued.Load(),
+		Sent:         c.sent.Load(),
+		Dropped:      c.dropped.Load(),
+		BatchesSent:  c.batchesSent.Load(),
+		MsgsPerBatch: sizes,
+		QueueLen:     len(c.queue),
+		Connected:    c.alive(),
+	}
+}
+
+func (c *Client) alive() bool {
+	select {
+	case <-c.dead:
+		return false
+	case <-c.done:
+		return false
+	default:
+		return true
+	}
+}
+
+// pump is the coalescing writer: it drains the queue, writes each drained
+// run through writeCoalesced, and flushes once per run.
+func (c *Client) pump() {
+	defer c.wg.Done()
+	w := bufio.NewWriter(c.conn)
+	onBatch := func(msgs int) {
+		c.batchesSent.Add(1)
+		c.mu.Lock()
+		c.batchSizes.observe(msgs)
+		c.mu.Unlock()
+	}
+	fail := func(err error) {
+		c.mu.Lock()
+		if c.err == nil {
+			c.err = err
+		}
+		c.mu.Unlock()
+		close(c.dead)
+	}
+	bodies := make([][]byte, 0, maxCoalesce)
+	writeRun := func() bool {
+		written, err := writeCoalesced(w, bodies, c.cfg.NoBatch, onBatch)
+		c.sent.Add(uint64(written))
+		if err == nil {
+			err = w.Flush()
+		}
+		if err != nil {
+			c.dropped.Add(uint64(len(bodies) - written))
+			fail(err)
+			return false
+		}
+		return true
+	}
+	drain := func() {
+		if c.cfg.NoBatch {
+			return
+		}
+		for len(bodies) < maxCoalesce {
+			select {
+			case b := <-c.queue:
+				bodies = append(bodies, b)
+			default:
+				return
+			}
+		}
+	}
+	for {
+		var first []byte
+		select {
+		case first = <-c.queue:
+		case <-c.done:
+			// Final drain: everything enqueued before Close still goes out,
+			// packed the same way the live path packs it.
+			for {
+				select {
+				case b := <-c.queue:
+					bodies = append(bodies[:0], b)
+					drain()
+					if !writeRun() {
+						return
+					}
+				default:
+					_ = w.Flush()
+					return
+				}
+			}
+		}
+		bodies = append(bodies[:0], first)
+		drain()
+		if len(bodies) < maxCoalesce && !c.cfg.NoBatch {
+			// The queue ran dry mid-run. Producers are usually mid-burst
+			// on another goroutine, so yield one scheduler pass and drain
+			// again: a short pause here regularly turns a solo
+			// write-and-flush into a full envelope.
+			runtime.Gosched()
+			drain()
+		}
+		if !writeRun() {
+			return
+		}
+	}
+}
+
+// Close flushes queued frames (when the connection is still healthy) and
+// closes the connection. Frames that could not be written are counted
+// Dropped, keeping Enqueued == Sent + Dropped at quiescence.
+func (c *Client) Close() error {
+	c.once.Do(func() { close(c.done) })
+	c.wg.Wait()
+	// Excluding concurrent Sends during the drain guarantees every frame a
+	// racing Send managed to enqueue is still counted here.
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	for {
+		select {
+		case <-c.queue:
+			c.dropped.Add(1)
+		default:
+			return c.conn.Close()
+		}
+	}
 }
 
 // Bridge registers a local proxy endpoint that forwards to a remote network

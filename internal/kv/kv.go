@@ -410,6 +410,43 @@ func (t *Table) Enqueue(u Update) {
 	t.ping()
 }
 
+// EnqueueBatch delivers a group of remote updates that arrived together (one
+// decoded transport batch) under a single lock acquisition. Each update is
+// admitted or queued exactly as Enqueue would, in slice order, but keyed
+// subscribers are woken once per distinct key instead of once per update and
+// the coalesced notify channel is pinged once — the subscription-wake sweep
+// cost of absorbing a batch is bounded by its key set, not its length.
+func (t *Table) EnqueueBatch(us []Update) {
+	switch len(us) {
+	case 0:
+		return
+	case 1:
+		t.Enqueue(us[0])
+		return
+	}
+	type keyOf struct {
+		kind UpdateKind
+		key  string
+	}
+	seen := make(map[keyOf]struct{}, len(us))
+	t.mu.Lock()
+	for _, u := range us {
+		u.seq = t.nextSeq
+		t.nextSeq++
+		if t.admittedLocked(u) {
+			t.applyLocked(u)
+		} else {
+			t.pending = append(t.pending, u)
+		}
+		seen[keyOf{u.Kind, u.Key}] = struct{}{}
+	}
+	for k := range seen {
+		t.wakeKeyLocked(k.kind, k.key)
+	}
+	t.mu.Unlock()
+	t.ping()
+}
+
 func (t *Table) applyLocked(u Update) {
 	switch u.Kind {
 	case UpdateProp:

@@ -405,3 +405,143 @@ func TestApplyNowBypassesQueueAndPings(t *testing.T) {
 		t.Fatal("ApplyNow data not applied")
 	}
 }
+
+// TestEnqueueBatchOrderPreserved checks that a delivered transport batch is
+// absorbed in slice order and sequenced against surrounding single Enqueues:
+// at ApplyPending the last write in arrival order wins.
+func TestEnqueueBatchOrderPreserved(t *testing.T) {
+	tb := NewTable()
+	tb.DeclareData("n")
+	tb.Enqueue(Update{Kind: UpdateData, Key: "n", Data: []byte("pre")})
+	tb.EnqueueBatch([]Update{
+		{Kind: UpdateData, Key: "n", Data: []byte("first")},
+		{Kind: UpdateData, Key: "n", Data: []byte("second")},
+	})
+	tb.Enqueue(Update{Kind: UpdateData, Key: "n", Data: []byte("post")})
+	if tb.PendingLen() != 4 {
+		t.Fatalf("PendingLen = %d, want 4", tb.PendingLen())
+	}
+	tb.ApplyPending()
+	got, _ := tb.Data("n")
+	if string(got) != "post" {
+		t.Fatalf("batch broke arrival order: n = %q, want post", got)
+	}
+}
+
+// TestEnqueueBatchWakeSweep checks the documented wake contract: one sweep
+// per distinct key in the batch (not per update), no wakes for keys outside
+// the batch, and a single coalesced Notify ping.
+func TestEnqueueBatchWakeSweep(t *testing.T) {
+	tb := NewTable()
+	tb.DeclareProp("P", false)
+	tb.DeclareProp("Q", false)
+	tb.DeclareProp("R", false)
+	sp := tb.Subscribe([]string{"P"}, nil)
+	defer tb.Unsubscribe(sp)
+	sq := tb.Subscribe([]string{"Q"}, nil)
+	defer tb.Unsubscribe(sq)
+	sr := tb.Subscribe([]string{"R"}, nil)
+	defer tb.Unsubscribe(sr)
+
+	tb.EnqueueBatch([]Update{
+		{Kind: UpdateProp, Key: "P", Bool: true, From: "x"},
+		{Kind: UpdateProp, Key: "P", Bool: false, From: "x"},
+		{Kind: UpdateProp, Key: "P", Bool: true, From: "x"},
+		{Kind: UpdateProp, Key: "Q", Bool: true, From: "x"},
+	})
+	if !woken(t, sp) {
+		t.Fatal("batch did not wake the P subscriber")
+	}
+	if woken(t, sp) {
+		t.Fatal("P woken more than once for one batch")
+	}
+	if !woken(t, sq) {
+		t.Fatal("batch did not wake the Q subscriber")
+	}
+	if woken(t, sr) {
+		t.Fatal("batch woke a key it does not contain")
+	}
+	select {
+	case <-tb.Notify():
+	default:
+		t.Fatal("batch did not ping Notify")
+	}
+	select {
+	case <-tb.Notify():
+		t.Fatal("batch pinged Notify more than once")
+	default:
+	}
+}
+
+// TestEnqueueBatchWaitSetAdmission checks that batch absorption honours the
+// in-progress wait exactly as per-update Enqueue does: wait-set members are
+// applied immediately, everything else queues.
+func TestEnqueueBatchWaitSetAdmission(t *testing.T) {
+	tb := NewTable()
+	tb.DeclareProp("Work", true)
+	tb.DeclareProp("Other", false)
+	tb.DeclareData("m")
+
+	h := tb.BeginWait(NewWaitSet(formula.Not(formula.P("Work")), []string{"m"}))
+	defer tb.EndWait(h)
+
+	tb.EnqueueBatch([]Update{
+		{Kind: UpdateProp, Key: "Work", Bool: false},          // admitted
+		{Kind: UpdateProp, Key: "Other", Bool: true},          // queued
+		{Kind: UpdateData, Key: "m", Data: []byte("payload")}, // admitted
+	})
+	if v, _ := tb.Prop("Work"); v {
+		t.Fatal("wait-set prop in batch not applied immediately")
+	}
+	if d, _ := tb.Data("m"); string(d) != "payload" {
+		t.Fatalf("wait-set data in batch not applied: %q", d)
+	}
+	if v, _ := tb.Prop("Other"); v {
+		t.Fatal("non-wait-set batch update leaked through during wait")
+	}
+	if tb.PendingLen() != 1 {
+		t.Fatalf("PendingLen = %d, want 1", tb.PendingLen())
+	}
+}
+
+// TestEnqueueBatchLocalPriority: updates queued by a batch are still subject
+// to §8 local priority — a subsequent local write to the same key discards
+// them.
+func TestEnqueueBatchLocalPriority(t *testing.T) {
+	tb := NewTable()
+	tb.DeclareProp("P", false)
+	tb.DeclareProp("Q", false)
+	tb.EnqueueBatch([]Update{
+		{Kind: UpdateProp, Key: "P", Bool: true},
+		{Kind: UpdateProp, Key: "Q", Bool: true},
+	})
+	if err := tb.SetProp("P", false); err != nil {
+		t.Fatal(err)
+	}
+	tb.ApplyPending()
+	if v, _ := tb.Prop("P"); v {
+		t.Fatal("batch-queued update survived local write to same key")
+	}
+	if v, _ := tb.Prop("Q"); !v {
+		t.Fatal("local write dropped a different key's batch update")
+	}
+}
+
+// TestEnqueueBatchDegenerateSizes: the 0- and 1-element fast paths behave
+// exactly like no-op and single Enqueue.
+func TestEnqueueBatchDegenerateSizes(t *testing.T) {
+	tb := NewTable()
+	tb.DeclareProp("P", false)
+	tb.EnqueueBatch(nil)
+	if tb.PendingLen() != 0 {
+		t.Fatal("empty batch queued something")
+	}
+	tb.EnqueueBatch([]Update{{Kind: UpdateProp, Key: "P", Bool: true, From: "x"}})
+	if tb.PendingLen() != 1 {
+		t.Fatalf("PendingLen = %d, want 1", tb.PendingLen())
+	}
+	tb.ApplyPending()
+	if v, _ := tb.Prop("P"); !v {
+		t.Fatal("single-element batch lost")
+	}
+}

@@ -142,6 +142,7 @@ type JunctionMetrics struct {
 	RemoteQueued  atomic.Uint64 // arrived at this junction's table
 	RemoteApplied atomic.Uint64 // absorbed at a scheduling boundary
 	RemoteAcked   atomic.Uint64 // this junction's sends acknowledged
+	RemoteBatches atomic.Uint64 // delivery groups absorbed via the batched path
 
 	// Driver wake counters (event = subscription/notify, poll = timer).
 	WakesEvent atomic.Uint64
@@ -153,6 +154,11 @@ type JunctionMetrics struct {
 
 	// Sched is the body latency histogram (fed only under Timing).
 	Sched Histogram
+
+	// Ack is the remote-update acknowledgment latency histogram: send to
+	// observed delivery acknowledgment, per update this junction originated
+	// (fed only under Timing).
+	Ack Histogram
 }
 
 func (m *JunctionMetrics) reset() {
@@ -169,10 +175,12 @@ func (m *JunctionMetrics) reset() {
 	m.RemoteQueued.Store(0)
 	m.RemoteApplied.Store(0)
 	m.RemoteAcked.Store(0)
+	m.RemoteBatches.Store(0)
 	m.WakesEvent.Store(0)
 	m.WakesPoll.Store(0)
 	m.SubWakes.Store(0)
 	m.Sched.reset()
+	m.Ack.reset()
 	m.Epoch.Add(1)
 }
 
@@ -197,12 +205,14 @@ type JunctionSnapshot struct {
 	RemoteQueued  uint64
 	RemoteApplied uint64
 	RemoteAcked   uint64
+	RemoteBatches uint64
 
 	WakesEvent uint64
 	WakesPoll  uint64
 	SubWakes   uint64
 
 	SchedLatency LatencyQuantiles
+	AckLatency   LatencyQuantiles
 }
 
 func (m *JunctionMetrics) snapshot() JunctionSnapshot {
@@ -222,9 +232,11 @@ func (m *JunctionMetrics) snapshot() JunctionSnapshot {
 		RemoteQueued:   m.RemoteQueued.Load(),
 		RemoteApplied:  m.RemoteApplied.Load(),
 		RemoteAcked:    m.RemoteAcked.Load(),
+		RemoteBatches:  m.RemoteBatches.Load(),
 		WakesEvent:     m.WakesEvent.Load(),
 		WakesPoll:      m.WakesPoll.Load(),
 		SubWakes:       m.SubWakes.Load(),
 		SchedLatency:   m.Sched.digest(),
+		AckLatency:     m.Ack.digest(),
 	}
 }

@@ -95,6 +95,12 @@ const (
 	EvCheckEnvInject
 	EvCheckDeadlock
 	EvCheckInvariant
+
+	// EvRemoteBatch: a delivery group of remote updates was absorbed in one
+	// batch (N = group size, Peer = the sending junction when the group has
+	// a single origin). Per-update EvRemoteQueued events still follow, each
+	// carrying its per-pair sequence number in N and its origin in Peer.
+	EvRemoteBatch
 )
 
 var kindNames = map[Kind]string{
@@ -124,6 +130,7 @@ var kindNames = map[Kind]string{
 	EvCheckEnvInject:      "check.env-inject",
 	EvCheckDeadlock:       "check.deadlock",
 	EvCheckInvariant:      "check.invariant-violated",
+	EvRemoteBatch:         "remote.batch",
 }
 
 // String returns the dotted event name used in JSONL output.
@@ -153,6 +160,9 @@ type Event struct {
 	Key string
 	// Truth carries a ternary guard result for EvGuardEval.
 	Truth string
+	// Peer is the remote junction on the other side of the event, for kinds
+	// that have one (the origin of a remote.queued / remote.batch delivery).
+	Peer string
 	// N is a generic count (updates applied, retry attempt number).
 	N int64
 	// Dur is a latency where the kind defines one (body run, wait block).

@@ -88,6 +88,7 @@ type jsonEvent struct {
 	Junction string `json:"junction,omitempty"`
 	Key      string `json:"key,omitempty"`
 	Truth    string `json:"truth,omitempty"`
+	Peer     string `json:"peer,omitempty"`
 	N        int64  `json:"n,omitempty"`
 	DurNs    int64  `json:"dur_ns,omitempty"`
 	Err      string `json:"err,omitempty"`
@@ -115,6 +116,7 @@ func (s *JSONLSink) Emit(e Event) {
 		Junction: e.Junction,
 		Key:      e.Key,
 		Truth:    e.Truth,
+		Peer:     e.Peer,
 		N:        e.N,
 		DurNs:    int64(e.Dur),
 		Err:      e.Err,

@@ -1,0 +1,63 @@
+package patterns
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"csaw/internal/obsv"
+	"csaw/internal/runtime"
+)
+
+// TestBatchingEquivalence is the semantic gate for the pipelined remote-
+// update plane: every catalogue architecture, driven deterministically, must
+// reach the identical quiescent KV state and the identical set of failing
+// junctions with batching on (per-pair ack windows, cumulative acks, batch
+// KV application — the default) and off (Options.DisableBatching, the seed's
+// one-round-trip-per-update path), in both execution modes. Run under -race
+// in CI.
+func TestBatchingEquivalence(t *testing.T) {
+	run := func(t *testing.T, entry CatalogueEntry, interpreted, disableBatching bool) equivResult {
+		t.Helper()
+		sys := startSystem(t, entry.Build(), runtime.Options{
+			DisableCompiledPlan: interpreted,
+			DisableBatching:     disableBatching,
+			Trace:               obsv.NewRingSink(8192),
+		})
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := sys.RunMain(ctx); err != nil {
+			t.Fatal(err)
+		}
+		driveEntry(ctx, t, entry.Name, sys)
+		return equivResult{
+			state:   quiesce(t, sys),
+			drivers: driverErrorJunctions(sys),
+		}
+	}
+	for _, entry := range Catalogue() {
+		entry := entry
+		t.Run(entry.Name, func(t *testing.T) {
+			t.Parallel()
+			base := run(t, entry, false, false)
+			for _, v := range []struct {
+				name                         string
+				interpreted, disableBatching bool
+			}{
+				{"compiled/unbatched", false, true},
+				{"interpreted/batched", true, false},
+				{"interpreted/unbatched", true, true},
+			} {
+				got := run(t, entry, v.interpreted, v.disableBatching)
+				if got.state != base.state {
+					t.Errorf("%s: quiescent KV state diverges from compiled/batched:\n--- compiled/batched ---\n%s--- %s ---\n%s",
+						v.name, base.state, v.name, got.state)
+				}
+				if strings.Join(got.drivers, ",") != strings.Join(base.drivers, ",") {
+					t.Errorf("%s: driver-error junctions diverge: base=%v got=%v", v.name, base.drivers, got.drivers)
+				}
+			}
+		})
+	}
+}

@@ -318,10 +318,11 @@ func (j *Junction) compilePar(branches dsl.Par) step {
 		var wg sync.WaitGroup
 		for i, st := range steps {
 			wg.Add(1)
-			go func(i int, st step) {
+			i, st := i, st
+			goPar(func() {
 				defer wg.Done()
 				sigs[i], errs[i] = st(ctx)
-			}(i, st)
+			})
 		}
 		wg.Wait()
 		for _, err := range errs {

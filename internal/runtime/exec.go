@@ -223,10 +223,11 @@ func (j *Junction) execPar(ctx context.Context, branches dsl.Par) (signal, error
 	var wg sync.WaitGroup
 	for i, b := range branches {
 		wg.Add(1)
-		go func(i int, b dsl.Expr) {
+		i, b := i, b
+		goPar(func() {
 			defer wg.Done()
 			sigs[i], errs[i] = j.exec(ctx, b)
-		}(i, b)
+		})
 	}
 	wg.Wait()
 	for _, err := range errs {

@@ -38,6 +38,17 @@ type Junction struct {
 
 	schedMu sync.Mutex // one scheduling at a time
 
+	// recvMu guards recvFrom: the per-sender delivery tracking behind
+	// cumulative acks (system.go). Reset naturally on restart — a restarted
+	// instance gets fresh Junction objects, opening a new receive epoch.
+	recvMu   sync.Mutex
+	recvFrom map[string]*recvTrack
+
+	// winCache caches this junction's sender-side ack windows by
+	// destination (System.junctionWindow): windows are create-only, so the
+	// read path is lock-free.
+	winCache sync.Map
+
 	// pj is the junction's static lowering (plan.Compile output); comp is the
 	// per-start closure compilation built on it. comp is nil under the
 	// Options.DisableCompiledPlan ablation, selecting the reference

@@ -52,6 +52,14 @@ type Options struct {
 	// pre-plan runtime. The equivalence suite runs every pattern under both
 	// modes.
 	DisableCompiledPlan bool
+	// DisableBatching reverts the remote-update plane to the seed's
+	// one-round-trip-per-update path (ablation only): a global per-update
+	// ack channel map, one ack frame per update, per-message KV enqueue.
+	// The default path pipelines updates through per-(sender,receiver)
+	// windows with cumulative acks and applies delivered batches in one KV
+	// lock acquisition. The two modes speak different ack wire formats, so
+	// every system bridged into one deployment must agree on this setting.
+	DisableBatching bool
 	// Trace installs a structured trace sink (internal/obsv): every
 	// scheduling decision, guard evaluation, transaction outcome, wait
 	// transition, remote-update hop and instance lifecycle event is emitted
@@ -109,9 +117,16 @@ type System struct {
 	instances map[string]*Instance
 	apps      map[string]any
 
+	// Seed ack plumbing (Options.DisableBatching): one channel per in-flight
+	// update, resolved by an ack frame echoing its global sequence number.
 	ackSeq  atomic.Uint64
 	ackMu   sync.Mutex
 	ackWait map[uint64]chan struct{}
+
+	// Pipelined ack plumbing (the default): one window per directed
+	// (sender,receiver) junction pair, acknowledged cumulatively.
+	winMu   sync.Mutex
+	windows map[pairKey]*ackWindow
 
 	// driverMu guards the driver diagnostics, separate from the ack hot path.
 	driverMu      sync.Mutex
@@ -167,6 +182,7 @@ func New(p *dsl.Program, opts Options) (*System, error) {
 		instances: map[string]*Instance{},
 		apps:      map[string]any{},
 		ackWait:   map[uint64]chan struct{}{},
+		windows:   map[pairKey]*ackWindow{},
 	}
 	if opts.Trace != nil {
 		s.obs.SetSink(opts.Trace)
@@ -300,7 +316,11 @@ func (s *System) startLocked(name string, args any) error {
 		def := t.Junctions[jn]
 		j := newJunction(s, inst, def)
 		inst.junctions[jn] = j
-		s.net.Register(j.FQName, j.handleMessage)
+		if s.opts.DisableBatching {
+			s.net.Register(j.FQName, j.handleMessage)
+		} else {
+			s.net.RegisterBatch(j.FQName, j.handleMessage, j.handleBatch)
+		}
 		// A (re)start reinitializes the junction's KV table and opens a new
 		// metrics epoch, so post-restart rates never smear across the crash.
 		s.obs.ResetJunction(j.FQName)
@@ -499,14 +519,307 @@ func (s *System) Close() {
 }
 
 // --- remote update plumbing -------------------------------------------------
+//
+// Two wire-compatible halves share the same message shapes (seq-prefixed
+// prop/data payloads, KindControl "ack" frames) but differ in how acks are
+// granted and awaited:
+//
+//   - The pipelined default: each directed (sender,receiver) junction pair
+//     owns an ackWindow carrying its own sequence space. Concurrent
+//     junctions and par arms assign consecutive per-pair seqs and wait on
+//     their own channel, so many updates ride the link at once. The receiver
+//     tracks the contiguous delivery frontier per sender and answers with
+//     cumulative acks — one ack frame (payload: 8-byte cum frontier plus
+//     optional 8-byte out-of-order extras) completes every waiter at or
+//     below the frontier. One batch of N updates costs one ack frame, not N.
+//   - The seed ablation (Options.DisableBatching): a global sequence, one
+//     channel per update in ackWait, one ack frame echoing each update's
+//     seq. Kept verbatim so BENCH_net.json's ablation measures the seed path.
+//
+// Either way a statement completes only at its delivery acknowledgment —
+// the §6 contract `otherwise[t]` builds on.
+
+// pairKey identifies a directed (sender,receiver) junction pair.
+type pairKey struct{ from, to string }
+
+// ackWindow is the per-pair pipelining state on the sender side.
+type ackWindow struct {
+	// sendMu serializes sequence assignment with the substrate send, so the
+	// wire order on the pair matches the sequence order — the per-pair FIFO
+	// guarantee the receiver's cumulative frontier depends on.
+	sendMu sync.Mutex
+
+	// to and timeout parameterize the watchdog's failure (set at creation,
+	// immutable after).
+	to      string
+	timeout time.Duration
+
+	mu      sync.Mutex
+	nextSeq uint64
+	cum     uint64 // highest cumulatively acknowledged sequence
+	waiters map[uint64]chan error
+	// Watchdog state: instead of one timer per in-flight update, the window
+	// runs a single progress watchdog while waiters exist. acked counts
+	// completions; if a full AckTimeout passes with waiters pending and no
+	// completions, the frontier is stuck and the whole window fails. This
+	// bounds the oldest unacked update by at most 2x AckTimeout while
+	// keeping the per-update cost to a map insert (statement-level deadlines
+	// remain the job of otherwise[t]'s context).
+	timer     *time.Timer
+	armed     bool
+	acked     uint64
+	lastAcked uint64
+}
+
+// armLocked (re)arms the watchdog; callers hold w.mu and have just added a
+// waiter.
+func (w *ackWindow) armLocked() {
+	if w.armed {
+		return
+	}
+	w.armed = true
+	w.lastAcked = w.acked
+	if w.timer == nil {
+		w.timer = time.AfterFunc(w.timeout, w.watchdog)
+	} else {
+		w.timer.Reset(w.timeout)
+	}
+}
+
+// watchdog runs each AckTimeout while the window has pending waiters: any
+// completion since the last check counts as progress and rearms; a stalled
+// frontier fails every pipelined update at once.
+func (w *ackWindow) watchdog() {
+	w.mu.Lock()
+	if len(w.waiters) == 0 {
+		w.armed = false
+		w.mu.Unlock()
+		return
+	}
+	if w.acked != w.lastAcked {
+		w.lastAcked = w.acked
+		w.timer.Reset(w.timeout)
+		w.mu.Unlock()
+		return
+	}
+	chs := make([]chan error, 0, len(w.waiters))
+	for seq, ch := range w.waiters {
+		delete(w.waiters, seq)
+		chs = append(chs, ch)
+	}
+	w.armed = false
+	w.mu.Unlock()
+	err := fmt.Errorf("%w: no ack from %s within %s", ErrSendFailed, w.to, w.timeout)
+	for _, ch := range chs {
+		ch <- err
+	}
+}
+
+// forget removes seq's waiter, reporting whether it was still pending (false
+// means an ack or window failure already completed it).
+func (w *ackWindow) forget(seq uint64) bool {
+	w.mu.Lock()
+	_, ok := w.waiters[seq]
+	delete(w.waiters, seq)
+	w.mu.Unlock()
+	return ok
+}
+
+// fail completes every pending waiter on the window with err: a peer known
+// to be down (or a timed-out frontier) fails the whole pipeline at once
+// instead of one AckTimeout at a time. The window itself stays usable — a
+// revived peer opens where the sequence space left off.
+func (w *ackWindow) fail(err error) {
+	w.mu.Lock()
+	chs := make([]chan error, 0, len(w.waiters))
+	for seq, ch := range w.waiters {
+		delete(w.waiters, seq)
+		chs = append(chs, ch)
+	}
+	w.mu.Unlock()
+	for _, ch := range chs {
+		ch <- err // cap-1 channels; sole completer after removal from the map
+	}
+}
+
+// window returns (creating on first use) the ack window for a directed pair.
+func (s *System) window(from, to string) *ackWindow {
+	k := pairKey{from, to}
+	s.winMu.Lock()
+	w := s.windows[k]
+	if w == nil {
+		w = &ackWindow{to: to, timeout: s.opts.AckTimeout, waiters: map[uint64]chan error{}}
+		s.windows[k] = w
+	}
+	s.winMu.Unlock()
+	return w
+}
+
+// junctionWindow is the hot-path variant of window for a junction's own
+// sends: windows are created once and never removed, so each junction keeps
+// a lock-free read-mostly cache keyed by destination.
+func (s *System) junctionWindow(j *Junction, to string) *ackWindow {
+	if v, ok := j.winCache.Load(to); ok {
+		return v.(*ackWindow)
+	}
+	w := s.window(j.FQName, to)
+	j.winCache.Store(to, w)
+	return w
+}
+
+// pendingAcks reports how many updates are awaiting acknowledgment on the
+// directed pair (test hook: the ctx-cancel and window-failure regression
+// tests assert waiters never leak).
+func (s *System) pendingAcks(from, to string) int {
+	s.winMu.Lock()
+	w := s.windows[pairKey{from, to}]
+	s.winMu.Unlock()
+	if w == nil {
+		return 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.waiters)
+}
+
+// ackPair processes one cumulative/vectored ack frame on the sender side:
+// every waiter with seq <= cum completes, plus the explicitly listed
+// out-of-order extras.
+func (s *System) ackPair(from, to string, cum uint64, extras []uint64) {
+	s.winMu.Lock()
+	w := s.windows[pairKey{from, to}]
+	s.winMu.Unlock()
+	if w == nil {
+		return
+	}
+	var done []chan error
+	w.mu.Lock()
+	if cum > w.cum {
+		w.cum = cum
+	}
+	for seq, ch := range w.waiters {
+		if seq <= w.cum {
+			delete(w.waiters, seq)
+			done = append(done, ch)
+		}
+	}
+	for _, e := range extras {
+		if ch, ok := w.waiters[e]; ok {
+			delete(w.waiters, e)
+			done = append(done, ch)
+		}
+	}
+	w.acked += uint64(len(done)) // progress, as seen by the watchdog
+	w.mu.Unlock()
+	for _, ch := range done {
+		ch <- nil
+	}
+}
 
 // sendUpdate ships one assert/retract/write from a junction to a remote
 // junction and waits for its delivery acknowledgment. The wait respects
-// ctx's deadline and is bounded by AckTimeout.
+// ctx's deadline; the per-window progress watchdog bounds how long a stuck
+// frontier can hold waiters (see ackWindow).
 func (s *System) sendUpdate(ctx context.Context, j *Junction, to string, kind compart.MessageKind, key string, flag bool, payload []byte) error {
+	if s.opts.DisableBatching {
+		return s.sendUpdateUnbatched(ctx, j, to, kind, key, flag, payload)
+	}
+	from := j.FQName
+	w := s.junctionWindow(j, to)
+	ch := ackChPool.Get().(chan error)
+	tracing := s.obs.Tracing()
+
+	w.sendMu.Lock()
+	w.mu.Lock()
+	w.nextSeq++
+	seq := w.nextSeq
+	w.waiters[seq] = ch
+	w.armLocked()
+	w.mu.Unlock()
+	// Ack latency is sampled 1-in-8 (the histogram is a sample, not a
+	// census): at pipelined rates two time.Now calls per update are a
+	// measurable share of the send path. Tracing still times every update —
+	// trace events carry their own Dur.
+	var start time.Time
+	timing := s.obs.Timing() && (tracing || seq&7 == 0)
+	if timing {
+		start = time.Now()
+	}
+	body := make([]byte, 8+len(payload))
+	binary.BigEndian.PutUint64(body, seq)
+	copy(body[8:], payload)
+	err := s.net.Send(compart.Message{From: from, To: to, Kind: kind, Key: key, Flag: flag, Payload: body})
+	w.sendMu.Unlock()
+	if err != nil {
+		if w.forget(seq) {
+			ackChPool.Put(ch)
+		}
+		if errors.Is(err, compart.ErrEndpointDown) {
+			// Transport-level liveness (crash, or a BridgeLive whose
+			// heartbeats went unanswered) already knows the peer is gone:
+			// fail every pipelined update on this pair fast instead of
+			// waiting out one ack timeout per update.
+			werr := fmt.Errorf("%w (%s)", ErrPeerDown, to)
+			w.fail(werr)
+			return werr
+		}
+		return fmt.Errorf("%w: %v", ErrSendFailed, err)
+	}
+
+	finish := func(werr error) error {
+		// The channel saw its one send and one receive; it is quiescent and
+		// can be recycled.
+		ackChPool.Put(ch)
+		if werr != nil {
+			return werr
+		}
+		j.met.RemoteAcked.Add(1)
+		var d time.Duration
+		if timing {
+			d = time.Since(start)
+			j.met.Ack.Observe(d)
+		}
+		if tracing {
+			s.obs.Emit(obsv.Event{Kind: obsv.EvRemoteAcked, Junction: from, Key: to, Peer: to, N: int64(seq), Dur: d})
+		}
+		return nil
+	}
+
+	select {
+	case werr := <-ch:
+		return finish(werr)
+	case <-ctx.Done():
+		if !w.forget(seq) {
+			// An ack raced the cancellation: the update was delivered, the
+			// statement completes normally.
+			return finish(<-ch)
+		}
+		ackChPool.Put(ch) // forgotten before any send: quiescent
+		return fmt.Errorf("%w: awaiting ack from %s", ErrTimeout, to)
+	}
+}
+
+// ackChPool recycles waiter channels: the pipelined path allocates one per
+// in-flight update, and every code path ends with the channel quiescent —
+// either its single send was received, or it was forgotten before any send.
+var ackChPool = sync.Pool{New: func() any { return make(chan error, 1) }}
+
+// sendUpdateUnbatched is the seed remote-update path, selected by
+// Options.DisableBatching: one global sequence number, one ack channel and
+// one round trip per update. The stop is called on every exit so no timer
+// outlives its statement (the ctx-done path used to leak one until Stop was
+// deferred).
+func (s *System) sendUpdateUnbatched(ctx context.Context, j *Junction, to string, kind compart.MessageKind, key string, flag bool, payload []byte) error {
 	from := j.FQName
 	seq := s.ackSeq.Add(1)
 	ch := make(chan struct{}, 1)
+	var start time.Time
+	// Same 1-in-8 ack-latency sampling as the pipelined path, so the
+	// batching ablation compares like for like.
+	timing := s.obs.Timing() && (s.obs.Tracing() || seq&7 == 0)
+	if timing {
+		start = time.Now()
+	}
 	s.ackMu.Lock()
 	s.ackWait[seq] = ch
 	s.ackMu.Unlock()
@@ -521,9 +834,6 @@ func (s *System) sendUpdate(ctx context.Context, j *Junction, to string, kind co
 	copy(body[8:], payload)
 	if err := s.net.Send(compart.Message{From: from, To: to, Kind: kind, Key: key, Flag: flag, Payload: body}); err != nil {
 		if errors.Is(err, compart.ErrEndpointDown) {
-			// Transport-level liveness (crash, or a BridgeLive whose
-			// heartbeats went unanswered) already knows the peer is gone:
-			// fail fast instead of waiting out the ack timeout.
 			return fmt.Errorf("%w (%s)", ErrPeerDown, to)
 		}
 		return fmt.Errorf("%w: %v", ErrSendFailed, err)
@@ -533,6 +843,9 @@ func (s *System) sendUpdate(ctx context.Context, j *Junction, to string, kind co
 	select {
 	case <-ch:
 		j.met.RemoteAcked.Add(1)
+		if timing {
+			j.met.Ack.Observe(time.Since(start))
+		}
 		if s.obs.Tracing() {
 			s.obs.Emit(obsv.Event{Kind: obsv.EvRemoteAcked, Junction: from, Key: to})
 		}
@@ -544,7 +857,7 @@ func (s *System) sendUpdate(ctx context.Context, j *Junction, to string, kind co
 	}
 }
 
-// ack resolves a pending acknowledgment.
+// ack resolves a pending seed-path acknowledgment.
 func (s *System) ack(seq uint64) {
 	s.ackMu.Lock()
 	ch, ok := s.ackWait[seq]
@@ -557,28 +870,121 @@ func (s *System) ack(seq uint64) {
 	}
 }
 
+// recvTrack is the receiver-side delivery tracking for one sending junction:
+// contig is the contiguous frontier (every seq <= contig delivered), oo the
+// delivered seqs above contig+1 that arrived out of order (reordering on
+// jittered in-process links, or deliveries outliving a peer restart).
+type recvTrack struct {
+	contig uint64
+	oo     map[uint64]struct{}
+}
+
+// maxRecvGap bounds the out-of-order set per sender. A gap this wide means
+// the missing seqs are not coming — dropped by a lossy link, or addressed to
+// a previous incarnation of this junction — and their senders have long
+// failed their window, so the frontier skips forward and acking returns to
+// the cheap cumulative form. (A sender ignores cum acks for seqs it is no
+// longer waiting on.)
+const maxRecvGap = 1024
+
+// noteDelivered records the arrival of per-pair sequence seq from a sender
+// and returns the ack to emit: the cumulative frontier, plus whether seq
+// landed out of order and must be acknowledged as a vectored extra.
+func (j *Junction) noteDelivered(from string, seq uint64) (cum uint64, extra bool) {
+	j.recvMu.Lock()
+	defer j.recvMu.Unlock()
+	tr := j.recvFrom[from]
+	if tr == nil {
+		if j.recvFrom == nil {
+			j.recvFrom = map[string]*recvTrack{}
+		}
+		tr = &recvTrack{}
+		j.recvFrom[from] = tr
+	}
+	switch {
+	case seq <= tr.contig:
+		// Duplicate: re-acking the frontier is harmless.
+	case seq == tr.contig+1:
+		tr.contig = seq
+		for {
+			if _, ok := tr.oo[tr.contig+1]; !ok {
+				break
+			}
+			delete(tr.oo, tr.contig+1)
+			tr.contig++
+		}
+	default:
+		if tr.oo == nil {
+			tr.oo = map[uint64]struct{}{}
+		}
+		tr.oo[seq] = struct{}{}
+		if len(tr.oo) > maxRecvGap {
+			for s := range tr.oo {
+				if s > tr.contig {
+					tr.contig = s
+				}
+			}
+			tr.oo = nil
+			return tr.contig, false
+		}
+		return tr.contig, true
+	}
+	return tr.contig, false
+}
+
+// decodeUpdate parses a seq-prefixed prop/data message into a KV update.
+func decodeUpdate(m compart.Message) (kv.Update, uint64, bool) {
+	if len(m.Payload) < 8 {
+		return kv.Update{}, 0, false
+	}
+	seq := binary.BigEndian.Uint64(m.Payload)
+	u := kv.Update{Key: m.Key, From: m.From}
+	if m.Kind == compart.KindProp {
+		u.Kind = kv.UpdateProp
+		u.Bool = m.Flag
+	} else {
+		u.Kind = kv.UpdateData
+		u.Data = append([]byte(nil), m.Payload[8:]...)
+	}
+	return u, seq, true
+}
+
+// appendAck encodes a cumulative ack payload: the 8-byte frontier followed
+// by any vectored out-of-order extras.
+func appendAck(cum uint64, extras []uint64) []byte {
+	body := make([]byte, 8, 8+8*len(extras))
+	binary.BigEndian.PutUint64(body, cum)
+	for _, e := range extras {
+		body = binary.BigEndian.AppendUint64(body, e)
+	}
+	return body
+}
+
 // handleMessage is installed per junction endpoint; defined here because it
-// needs the ack plumbing. kind KindControl with key "ack" resolves an ack;
+// needs the ack plumbing. kind KindControl with key "ack" resolves acks;
 // prop/data messages enqueue a KV update and acknowledge delivery.
 func (j *Junction) handleMessage(m compart.Message) {
 	switch m.Kind {
 	case compart.KindControl:
-		if m.Key == "ack" && len(m.Payload) >= 8 {
-			j.sys.ack(binary.BigEndian.Uint64(m.Payload))
-		}
-	case compart.KindProp, compart.KindData:
-		if len(m.Payload) < 8 {
+		if m.Key != "ack" || len(m.Payload) < 8 {
 			return
 		}
-		seq := binary.BigEndian.Uint64(m.Payload)
-		payload := m.Payload[8:]
-		u := kv.Update{Key: m.Key, From: m.From}
-		if m.Kind == compart.KindProp {
-			u.Kind = kv.UpdateProp
-			u.Bool = m.Flag
-		} else {
-			u.Kind = kv.UpdateData
-			u.Data = append([]byte(nil), payload...)
+		if j.sys.opts.DisableBatching {
+			j.sys.ack(binary.BigEndian.Uint64(m.Payload))
+			return
+		}
+		// Cumulative frontier first, then vectored extras; the window is
+		// keyed by (this junction, acking peer).
+		cum := binary.BigEndian.Uint64(m.Payload)
+		var extras []uint64
+		for off := 8; off+8 <= len(m.Payload); off += 8 {
+			extras = append(extras, binary.BigEndian.Uint64(m.Payload[off:]))
+		}
+		j.sys.ackPair(j.FQName, m.From, cum, extras)
+	case compart.KindProp, compart.KindData:
+		u, seq, ok := decodeUpdate(m)
+		if !ok {
+			return
 		}
 		if j.sys.opts.DisableLocalPriority {
 			// Ablation mode: apply immediately, bypassing the pending queue.
@@ -587,14 +993,107 @@ func (j *Junction) handleMessage(m compart.Message) {
 			j.table.Enqueue(u)
 		}
 		j.met.RemoteQueued.Add(1)
-		if j.sys.obs.Tracing() {
-			j.sys.obs.Emit(obsv.Event{Kind: obsv.EvRemoteQueued, Junction: j.FQName, Key: m.Key})
+		if j.sys.opts.DisableBatching {
+			if j.sys.obs.Tracing() {
+				j.sys.obs.Emit(obsv.Event{Kind: obsv.EvRemoteQueued, Junction: j.FQName, Key: m.Key})
+			}
+			// Seed path: echo the update's own sequence number.
+			var ackBody [8]byte
+			binary.BigEndian.PutUint64(ackBody[:], seq)
+			_ = j.sys.net.Send(compart.Message{
+				From: j.FQName, To: m.From, Kind: compart.KindControl, Key: "ack", Payload: ackBody[:],
+			})
+			return
 		}
-		// Acknowledge delivery back to the sender.
-		var ackBody [8]byte
-		binary.BigEndian.PutUint64(ackBody[:], seq)
+		cum, extra := j.noteDelivered(m.From, seq)
+		if j.sys.obs.Tracing() {
+			j.sys.obs.Emit(obsv.Event{Kind: obsv.EvRemoteQueued, Junction: j.FQName, Key: m.Key, Peer: m.From, N: int64(seq)})
+		}
+		var extras []uint64
+		if extra {
+			extras = []uint64{seq}
+		}
 		_ = j.sys.net.Send(compart.Message{
-			From: j.FQName, To: m.From, Kind: compart.KindControl, Key: "ack", Payload: ackBody[:],
+			From: j.FQName, To: m.From, Kind: compart.KindControl, Key: "ack", Payload: appendAck(cum, extras),
+		})
+	}
+}
+
+// handleBatch absorbs a delivery group — the messages of one decoded
+// KindBatch envelope addressed to this junction — with one KV lock
+// acquisition (kv.EnqueueBatch) and one ack frame per sender: the batched
+// receive path the per-destination coalescing senders feed.
+func (j *Junction) handleBatch(msgs []compart.Message) {
+	tracing := j.sys.obs.Tracing()
+	updates := make([]kv.Update, 0, len(msgs))
+	// Per-sender ack accumulation. Delivery groups usually have a single
+	// origin (one coalescing sender), so first-appearance order with a
+	// linear scan is cheap and keeps ack emission deterministic.
+	type pairAck struct {
+		from   string
+		cum    uint64
+		extras []uint64
+	}
+	var acks []*pairAck
+	for _, m := range msgs {
+		switch m.Kind {
+		case compart.KindProp, compart.KindData:
+			u, seq, ok := decodeUpdate(m)
+			if !ok {
+				continue
+			}
+			updates = append(updates, u)
+			cum, extra := j.noteDelivered(m.From, seq)
+			var pa *pairAck
+			for _, a := range acks {
+				if a.from == m.From {
+					pa = a
+					break
+				}
+			}
+			if pa == nil {
+				pa = &pairAck{from: m.From}
+				acks = append(acks, pa)
+			}
+			pa.cum = cum
+			if extra {
+				pa.extras = append(pa.extras, seq)
+			}
+			if tracing {
+				j.sys.obs.Emit(obsv.Event{Kind: obsv.EvRemoteQueued, Junction: j.FQName, Key: m.Key, Peer: m.From, N: int64(seq)})
+			}
+		default:
+			// Control frames (acks) riding the same envelope take the
+			// singular path.
+			j.handleMessage(m)
+		}
+	}
+	if len(updates) > 0 {
+		if j.sys.opts.DisableLocalPriority {
+			for _, u := range updates {
+				j.applyImmediately(u)
+			}
+		} else {
+			j.table.EnqueueBatch(updates)
+		}
+		j.met.RemoteQueued.Add(uint64(len(updates)))
+		j.met.RemoteBatches.Add(1)
+		if tracing {
+			peer := updates[0].From
+			for _, u := range updates[1:] {
+				if u.From != peer {
+					peer = ""
+					break
+				}
+			}
+			j.sys.obs.Emit(obsv.Event{Kind: obsv.EvRemoteBatch, Junction: j.FQName, Peer: peer, N: int64(len(updates))})
+		}
+	}
+	// Acks leave after the updates are enqueued: a sender's statement must
+	// not complete before its update is visible to the receiving table.
+	for _, pa := range acks {
+		_ = j.sys.net.Send(compart.Message{
+			From: j.FQName, To: pa.from, Kind: compart.KindControl, Key: "ack", Payload: appendAck(pa.cum, pa.extras),
 		})
 	}
 }
