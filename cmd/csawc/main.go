@@ -18,12 +18,20 @@
 //	csawc -check-all                  # check catalogue + negative examples
 //	                                  # against their annotated verdicts
 //	csawc -arch x -check -check-bound 64 -check-json
+//	csawc -arch sharding -cost        # static traffic model + cost findings
+//	csawc -arch sharding -placement   # suggested instance relocations
+//	csawc -cost-all                   # cost-vet the catalogue against its
+//	                                  # annotated verdicts
+//	csawc -cost-all -cost-json        # ... as a JSON report (ArchReport.Cost)
 //
 // -vet and -vet-all exit non-zero when any error-severity diagnostic
 // survives the catalogue's recorded suppressions. -check exits non-zero on
 // any deadlock or invariant violation (liveness findings are warnings), and
 // -check-all additionally when an entry's verdict drifts from its
-// annotation. Both JSON modes share the analysis.ArchReport schema.
+// annotation. -cost prices each entry under its recorded CostPlacement and
+// exits non-zero on unsuppressed error-severity cost findings; -cost-all
+// additionally enforces the annotated CostVerdict. All JSON modes share the
+// analysis.ArchReport schema.
 package main
 
 import (
@@ -34,6 +42,7 @@ import (
 
 	"csaw/internal/analysis"
 	"csaw/internal/check"
+	"csaw/internal/cost"
 	"csaw/internal/dsl"
 	"csaw/internal/events"
 	"csaw/internal/patterns"
@@ -53,6 +62,10 @@ func main() {
 		checkAll   = flag.Bool("check-all", false, "model-check the catalogue and negative examples against their annotated verdicts")
 		checkBound = flag.Int("check-bound", 0, "with -check/-check-all: schedule-length bound (0 = default)")
 		checkJSON  = flag.Bool("check-json", false, "with -check/-check-all: emit the report as JSON")
+		costOne    = flag.Bool("cost", false, "run the communication-cost suite on -arch")
+		costAll    = flag.Bool("cost-all", false, "cost-vet every catalogue architecture against its annotated verdict")
+		costJSON   = flag.Bool("cost-json", false, "with -cost/-cost-all: emit the report as JSON")
+		placeOut   = flag.Bool("placement", false, "with -arch: print the optimizer's suggested instance relocations")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -66,6 +79,9 @@ func main() {
 	if *checkAll {
 		entries := append(patterns.Catalogue(), patterns.Negatives()...)
 		os.Exit(checkArchitectures(os.Stdout, entries, *checkBound, *checkJSON, true))
+	}
+	if *costAll {
+		os.Exit(costArchitectures(os.Stdout, patterns.Catalogue(), *costJSON, true, false))
 	}
 
 	if *list || *arch == "" {
@@ -88,6 +104,9 @@ func main() {
 	}
 	if *checkOne {
 		os.Exit(checkArchitectures(os.Stdout, []patterns.CatalogueEntry{entry}, *checkBound, *checkJSON, false))
+	}
+	if *costOne || *placeOut {
+		os.Exit(costArchitectures(os.Stdout, []patterns.CatalogueEntry{entry}, *costJSON, false, *placeOut))
 	}
 
 	p := entry.Build()
@@ -201,6 +220,131 @@ func vetArchitectures(w io.Writer, entries []patterns.CatalogueEntry, asJSON boo
 		}
 	}
 	return code
+}
+
+// costArchitectures runs the communication-cost suite over each entry: the
+// cost passes under the entry's recorded CostPlacement (honouring its
+// CostSuppressions), the static traffic model, and the placement optimizer
+// over the unpinned instances. Exit code 1 on validation failure or an
+// unsuppressed error-severity finding; with enforceVerdicts (the -cost-all
+// mode) additionally when the verdict ("clean"/"findings"/"error") drifts
+// from the entry's CostVerdict annotation. placeOnly trims the text output
+// to the optimizer's suggestions.
+func costArchitectures(w io.Writer, entries []patterns.CatalogueEntry, asJSON, enforceVerdicts, placeOnly bool) int {
+	code := 0
+	reports := make([]analysis.ArchReport, 0, len(entries))
+	verdicts := make([]string, 0, len(entries))
+	for _, e := range entries {
+		ar := analysis.ArchReport{Arch: e.Name, Diagnostics: []analysis.Diagnostic{}}
+		p := e.Build()
+		rep, err := analysis.Analyze(p, &analysis.Config{
+			Passes:    cost.Passes(),
+			Suppress:  e.CostSuppressions,
+			Placement: e.CostPlacement,
+		})
+		verdict := "clean"
+		if err != nil {
+			ar.Error = err.Error()
+			verdict = "invalid"
+			code = 1
+		} else {
+			ar.Diagnostics = append(ar.Diagnostics, rep.Diagnostics...)
+			ar.Suppressed = rep.Suppressed
+			switch {
+			case rep.Errors() > 0:
+				verdict = "error"
+			case len(rep.Diagnostics) > 0:
+				verdict = "findings"
+			}
+			m := cost.Build(analysis.NewContext(p, 0))
+			cr := m.Report(e.CostPlacement)
+			final, moves := cost.Optimize(m, e.CostPlacement, e.CostPins, nil)
+			if len(moves) > 0 {
+				cr.Moves = moves
+				cr.CrossAfterMoves = cost.CrossTraffic(m, final)
+			}
+			ar.Cost = cr
+		}
+		if enforceVerdicts {
+			want := e.CostVerdict
+			if want == "" {
+				want = "clean"
+			}
+			if verdict != want {
+				ar.Diagnostics = append(ar.Diagnostics, analysis.Diagnostic{
+					Pass: "cost", Severity: analysis.SevError, Pos: "(verdict)",
+					Msg: fmt.Sprintf("cost verdict %q, annotated %q", verdict, want),
+				})
+				code = 1
+			}
+		} else if verdict == "error" {
+			code = 1
+		}
+		reports = append(reports, ar)
+		verdicts = append(verdicts, verdict)
+	}
+
+	if asJSON {
+		if err := analysis.EncodeReports(w, reports); err != nil {
+			fmt.Fprintf(os.Stderr, "csawc: %v\n", err)
+			return 1
+		}
+		return code
+	}
+
+	for i, ar := range reports {
+		if ar.Error != "" {
+			fmt.Fprintf(w, "%s: INVALID\n%s\n", ar.Arch, ar.Error)
+			continue
+		}
+		cr := ar.Cost
+		if placeOnly {
+			if len(cr.Moves) == 0 {
+				fmt.Fprintf(w, "%s: placement optimal (cross-location updates/drive: %g)\n", ar.Arch, cr.CrossUpdatesPerDrive)
+				continue
+			}
+			fmt.Fprintf(w, "%s: %d suggested move(s), cross-location updates/drive %g -> %g\n",
+				ar.Arch, len(cr.Moves), cr.CrossUpdatesPerDrive, cr.CrossAfterMoves)
+			for _, mv := range cr.Moves {
+				fmt.Fprintf(w, "  move %s: %s -> %s (predicted delta %+g updates/drive)\n", mv.Instance, locName(mv.From), locName(mv.To), mv.Delta)
+			}
+			continue
+		}
+		fmt.Fprintf(w, "%s: %s (%d finding(s), %d suppressed; cross-location updates/drive: %g)\n",
+			ar.Arch, verdicts[i], len(ar.Diagnostics), len(ar.Suppressed), cr.CrossUpdatesPerDrive)
+		for _, jc := range cr.Junctions {
+			fmt.Fprintf(w, "  %-22s %-14s activation=%-6g updates/firing=%-5g frames=%-5g rounds=%d\n",
+				jc.FQ, jc.Guard, jc.Activation, jc.UpdatesPerFiring, jc.FramesPerFiring, jc.RoundsPerFiring)
+		}
+		for _, ec := range cr.Edges {
+			mark := ""
+			if ec.Cross {
+				mark = "  [cross]"
+			}
+			if ec.GuardRead {
+				mark += "  [guard-read]"
+			}
+			fmt.Fprintf(w, "  %s -> %s: %g updates/drive%s\n", ec.From, ec.To, ec.UpdatesPerDrive, mark)
+		}
+		for _, d := range ar.Diagnostics {
+			fmt.Fprintf(w, "  %s\n", d.String())
+		}
+		if len(cr.Moves) > 0 {
+			fmt.Fprintf(w, "  optimizer: cross-location updates/drive %g -> %g\n", cr.CrossUpdatesPerDrive, cr.CrossAfterMoves)
+			for _, mv := range cr.Moves {
+				fmt.Fprintf(w, "    move %s: %s -> %s (%+g)\n", mv.Instance, locName(mv.From), locName(mv.To), mv.Delta)
+			}
+		}
+	}
+	return code
+}
+
+// locName renders the empty (default) location readably.
+func locName(loc string) string {
+	if loc == "" {
+		return "(default)"
+	}
+	return loc
 }
 
 // checkArchitectures model-checks each entry and returns the process exit

@@ -131,6 +131,12 @@ type Config struct {
 	// Unfold is the event-structure unfolding budget for the semantic
 	// cross-check (0 means the events package default).
 	Unfold int
+	// Placement maps instance names to deployment locations for
+	// placement-aware passes (the cost suite): two instances mapped to
+	// different non-empty locations are assumed to live on different machines
+	// bridged by a transport. Instances absent from the map share the empty
+	// location. Nil means everything is co-located.
+	Placement map[string]string
 }
 
 // SuppressedDiagnostic pairs a muted finding with the reason it was muted.
@@ -185,6 +191,7 @@ func Analyze(p *dsl.Program, cfg *Config) (*Report, error) {
 		passes = All()
 	}
 	ctx := NewContext(p, cfg.Unfold)
+	ctx.Placement = cfg.Placement
 	var all []Diagnostic
 	for _, pass := range passes {
 		ds := pass.Run(ctx)

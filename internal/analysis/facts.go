@@ -29,6 +29,11 @@ type Context struct {
 	// Started is the set of instances started anywhere (main or any body).
 	Started map[string]bool
 
+	// Placement maps instance names to deployment locations (from
+	// Config.Placement); nil means everything is co-located. Location("")
+	// sharing means co-located.
+	Placement map[string]string
+
 	// Unresolved records references whose resolved target junction exists but
 	// does not declare the referenced key — the cross-junction cases
 	// validate.go's best-effort checks cannot see (me:: tokens, idx families).
@@ -202,6 +207,17 @@ func NewContext(p *dsl.Program, unfold int) *Context {
 
 // Lookup resolves a fully-qualified junction name.
 func (c *Context) Lookup(fq string) *JunctionInfo { return c.byFQ[fq] }
+
+// Location returns the deployment location of an instance under the run's
+// Placement ("" when unplaced — all unplaced instances are co-located).
+func (c *Context) Location(inst string) string { return c.Placement[inst] }
+
+// ResolveTargets statically resolves a communication target reference
+// evaluated at ji to junction infos, over-approximating idx targets by their
+// element universe. Nil means the target is not statically resolvable.
+func (c *Context) ResolveTargets(ji *JunctionInfo, ref dsl.JunctionRef) []*JunctionInfo {
+	return c.resolveTargets(ji, ref)
+}
 
 func indexDecls(def *dsl.JunctionDef, resolve func(string) string) declIndex {
 	di := declIndex{

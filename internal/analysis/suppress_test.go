@@ -102,6 +102,24 @@ func TestReportJSONRoundTrip(t *testing.T) {
 			}},
 		},
 		{Arch: "broken", Error: "validate: no such instance"},
+		{
+			Arch:        "sharding",
+			Diagnostics: []Diagnostic{},
+			Cost: &CostReport{
+				Placement: map[string]string{"Fnt": "edge", "Bck1": "core"},
+				Junctions: []JunctionCost{
+					{FQ: "Fnt::junction", Guard: "invoked", Activation: 1, UpdatesPerFiring: 2, FramesPerFiring: 2, RoundsPerFiring: 1},
+					{FQ: "Bck1::junction", Guard: "event", Activation: 0.25, UpdatesPerFiring: 2, FramesPerFiring: 2, RoundsPerFiring: 1},
+				},
+				Edges: []EdgeCost{
+					{From: "Fnt::junction", To: "Bck1::junction", UpdatesPerFiring: 0.5, UpdatesPerDrive: 0.5, Cross: true},
+					{From: "Bck1::junction", To: "Fnt::junction", UpdatesPerFiring: 2, UpdatesPerDrive: 0.5, GuardRead: false, Cross: true},
+				},
+				CrossUpdatesPerDrive: 1,
+				Moves:                []PlacementMove{{Instance: "Bck1", From: "core", To: "edge", Delta: -1}},
+				CrossAfterMoves:      0,
+			},
+		},
 	}
 	var buf bytes.Buffer
 	if err := EncodeReports(&buf, in); err != nil {

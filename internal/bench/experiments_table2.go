@@ -68,5 +68,6 @@ func All() []Experiment {
 		{"Suricata-sharding-overhead", SuricataShardingOverhead},
 		{"Transport-recovery", TransportRecovery},
 		{"Net-batching", NetBatching},
+		{"Cost-validation", CostValidation},
 	}
 }

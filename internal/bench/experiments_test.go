@@ -298,12 +298,33 @@ func TestTransportRecoveryRuns(t *testing.T) {
 	}
 }
 
+func TestCostValidationRuns(t *testing.T) {
+	r, err := CostValidation(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Series) != 2 {
+		t.Fatalf("want predicted+measured series, got %d", len(r.Series))
+	}
+	if len(r.Series[0].Y) == 0 || len(r.Series[0].Y) != len(r.Series[1].Y) {
+		t.Fatalf("series lengths: %d vs %d", len(r.Series[0].Y), len(r.Series[1].Y))
+	}
+	if len(r.Tables) != 1 || len(r.Tables[0].Rows) != len(r.Series[0].Y) {
+		t.Fatalf("edge table should mirror the series: %+v", r.Tables)
+	}
+	// CostValidation itself enforces Spearman >= 0.8 and the optimizer's
+	// measured improvement; reaching here means both held over real TCP.
+	if len(r.Notes) < 2 {
+		t.Fatalf("want correlation + placement notes, got %v", r.Notes)
+	}
+}
+
 func TestAllRegistryComplete(t *testing.T) {
 	ids := map[string]bool{}
 	for _, e := range All() {
 		ids[e.ID] = true
 	}
-	for _, want := range []string{"Fig23a", "Fig23b", "Fig23c", "Fig24a", "Fig24b", "Fig24c", "Fig25ab", "Fig25c", "Fig26a", "Fig26b", "Fig26c", "Table2", "Transport-recovery"} {
+	for _, want := range []string{"Fig23a", "Fig23b", "Fig23c", "Fig24a", "Fig24b", "Fig24c", "Fig25ab", "Fig25c", "Fig26a", "Fig26b", "Fig26c", "Table2", "Transport-recovery", "Cost-validation"} {
 		if !ids[want] {
 			t.Errorf("experiment %s missing from All()", want)
 		}

@@ -92,18 +92,18 @@ type childRes struct {
 // thread is one strand of execution inside a scheduling: the root thread runs
 // the junction body; Par branches spawn child threads joined by slot.
 type thread struct {
-	id      int
-	fq      string
-	frames  []*frame
-	hasPend bool
-	pendSig signal
-	pendErr string
-	wait    *waitInfo
-	waiting int
+	id       int
+	fq       string
+	frames   []*frame
+	hasPend  bool
+	pendSig  signal
+	pendErr  string
+	wait     *waitInfo
+	waiting  int
 	children []childRes
-	parent  int // -1 for the scheduling root
-	slot    int
-	retries int
+	parent   int // -1 for the scheduling root
+	slot     int
+	retries  int
 }
 
 func (t *thread) clone() *thread {
@@ -125,8 +125,8 @@ func (t *thread) top() *frame {
 	return t.frames[len(t.frames)-1]
 }
 
-func (t *thread) push(f *frame)   { t.frames = append(t.frames, f) }
-func (t *thread) pop()            { t.frames = t.frames[:len(t.frames)-1] }
+func (t *thread) push(f *frame) { t.frames = append(t.frames, f) }
+func (t *thread) pop()          { t.frames = t.frames[:len(t.frames)-1] }
 func (t *thread) setPend(s signal, err string) {
 	t.hasPend, t.pendSig, t.pendErr = true, s, err
 }

@@ -66,11 +66,11 @@ func TestBatchDecodeRejectsCorruption(t *testing.T) {
 	good := outer.Payload
 
 	cases := map[string][]byte{
-		"empty":         {},
-		"truncated":     good[:len(good)-3],
-		"trailing":      append(append([]byte(nil), good...), 0xee),
-		"absurd count":  {0xff, 0xff, 0xff, 0xff},
-		"nested":        DecodeBatchNestedFixture(t, env),
+		"empty":        {},
+		"truncated":    good[:len(good)-3],
+		"trailing":     append(append([]byte(nil), good...), 0xee),
+		"absurd count": {0xff, 0xff, 0xff, 0xff},
+		"nested":       DecodeBatchNestedFixture(t, env),
 	}
 	for name, payload := range cases {
 		if _, err := DecodeBatch(payload); err == nil {

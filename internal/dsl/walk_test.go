@@ -163,16 +163,16 @@ func TestSplitIdxPropEdgeCases(t *testing.T) {
 		ok       bool
 	}{
 		{"Work[$tgt]", "Work", "tgt", true},
-		{"A[x][$i]", "A[x]", "i", true},      // concrete-indexed base survives
-		{"A[$i][$j]", "A[$i]", "j", true},    // only the last [$...] group splits
-		{"Plain", "", "", false},             // no index
-		{"Concrete[b1]", "", "", false},      // concrete index, not a var
-		{"Work[me::junction]", "", "", false},// self token, not a var
-		{"[$i]", "", "", false},              // empty base
-		{"A[$]", "", "", false},              // empty idx var
-		{"A[$i]x", "", "", false},            // trailing garbage
-		{"A[$i]]", "", "", false},            // idx var would contain ']'
-		{"A[$i[j]", "", "", false},           // idx var would contain '['
+		{"A[x][$i]", "A[x]", "i", true},       // concrete-indexed base survives
+		{"A[$i][$j]", "A[$i]", "j", true},     // only the last [$...] group splits
+		{"Plain", "", "", false},              // no index
+		{"Concrete[b1]", "", "", false},       // concrete index, not a var
+		{"Work[me::junction]", "", "", false}, // self token, not a var
+		{"[$i]", "", "", false},               // empty base
+		{"A[$]", "", "", false},               // empty idx var
+		{"A[$i]x", "", "", false},             // trailing garbage
+		{"A[$i]]", "", "", false},             // idx var would contain ']'
+		{"A[$i[j]", "", "", false},            // idx var would contain '['
 		{"", "", "", false},
 		{"]", "", "", false},
 	}

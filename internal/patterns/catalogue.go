@@ -22,6 +22,22 @@ type CatalogueEntry struct {
 	CheckVerdict string
 	// CheckNote records why a non-"clean" verdict is expected.
 	CheckNote string
+	// CostPlacement is the reference deployment the cost suite prices the
+	// entry under: instance→location, mirroring how the pattern is meant to
+	// be split across machines. CostPins marks the instances that placement
+	// fixes (the optimizer may relocate the rest).
+	CostPlacement map[string]string
+	CostPins      map[string]bool
+	// CostSuppressions mute cost-pass findings that are deliberate
+	// properties of the pattern. They are separate from Suppressions
+	// because the two suites run under different pass sets and a
+	// suppression naming a pass outside its run is itself flagged.
+	CostSuppressions []analysis.Suppression
+	// CostVerdict is the expected cost-suite verdict ("clean", "findings",
+	// "error"); csawc -cost-all fails when the computed verdict drifts.
+	CostVerdict string
+	// CostNote records why a non-"clean" cost verdict is expected.
+	CostNote string
 }
 
 // Catalogue returns the built-in architecture catalogue in stable order.
@@ -41,6 +57,11 @@ func Catalogue() []CatalogueEntry {
 				return Snapshot(SnapshotConfig{Timeout: t, Capture: nopSrc, Apply: nopSink})
 			},
 			CheckVerdict: "clean",
+			// The snapshot exists to cross a machine boundary: Act is the
+			// application host, Aud the audit host, both fixed.
+			CostPlacement: map[string]string{ActInstance: "app", AudInstance: "audit"},
+			CostPins:      map[string]bool{ActInstance: true, AudInstance: true},
+			CostVerdict:   "clean",
 		},
 		{
 			Name: "sharding",
@@ -53,6 +74,15 @@ func Catalogue() []CatalogueEntry {
 				})
 			},
 			CheckVerdict: "clean",
+			// The router and the first two shards are fixed (edge ingress and
+			// provisioned core capacity); Bck3/Bck4 are free, and the
+			// optimizer should pull them next to the router.
+			CostPlacement: map[string]string{
+				FrontInstance: "edge",
+				"Bck1":        "core", "Bck2": "core", "Bck3": "core", "Bck4": "core",
+			},
+			CostPins:    map[string]bool{FrontInstance: true, "Bck1": true, "Bck2": true},
+			CostVerdict: "clean",
 		},
 		{
 			Name: "parallel-sharding",
@@ -75,6 +105,19 @@ func Catalogue() []CatalogueEntry {
 			}},
 			CheckVerdict: "clean-bounded",
 			CheckNote:    "the 3-backend parallel engage with host havocs saturates the default state cap; no violation in the explored prefix",
+			CostPlacement: map[string]string{
+				FrontInstance: "edge",
+				"Bck1":        "core", "Bck2": "core", "Bck3": "core",
+			},
+			CostPins: map[string]bool{
+				FrontInstance: true, "Bck1": true, "Bck2": true, "Bck3": true,
+			},
+			CostSuppressions: []analysis.Suppression{{
+				Pass:   "costfanout",
+				Match:  "Fnt::junction/body[3]",
+				Reason: "Fig. 6 fans the request out to the chosen backend *set* by definition; the arms target distinct shards, so per-destination coalescing is inherently unavailable",
+			}},
+			CostVerdict: "clean",
 		},
 		{
 			Name: "caching",
@@ -90,6 +133,11 @@ func Catalogue() []CatalogueEntry {
 				})
 			},
 			CheckVerdict: "clean",
+			// The cache fronts requests at the edge precisely so that hits
+			// avoid the trip to the core-side function.
+			CostPlacement: map[string]string{CacheInstance: "edge", FunInstance: "core"},
+			CostPins:      map[string]bool{CacheInstance: true, FunInstance: true},
+			CostVerdict:   "clean",
 		},
 		{
 			Name: "failover",
@@ -104,6 +152,28 @@ func Catalogue() []CatalogueEntry {
 			},
 			CheckVerdict: "liveness",
 			CheckNote:    "the request-driven junctions (f::c, the backends' serve) fire only on client requests beyond the default environment budget; no safety violation within the bound",
+			// Warm-standby failover keeps the front and every replica on one
+			// site: the replicas exist for crash tolerance, not distribution.
+			CostPlacement: map[string]string{FrontEnd: "site", "b1": "site", "b2": "site"},
+			CostPins:      map[string]bool{FrontEnd: true, "b1": true, "b2": true},
+			CostSuppressions: []analysis.Suppression{{
+				Pass:   "costpoll",
+				Match:  "::startup/guard",
+				Reason: "the backend's startup guard reads its own instance's serve table (me::instance::serve), never a remote one; the poll is paced by the junction backoff",
+			}, {
+				Pass:   "costpoll",
+				Match:  "f::c/body[7]",
+				Reason: "the warm-all engage probes each backend's Active/@running state before committing to it; the probes are same-site (placement pins every instance together) and bounded by the engage timeout",
+			}, {
+				Pass:   "costfanout",
+				Match:  "f::c/body[7]",
+				Reason: "engaging every warm replica in parallel is the §7.3 design: the arms must target distinct backends",
+			}, {
+				Pass:   "costpingpong",
+				Match:  "wait-separated rounds",
+				Reason: "Fig. 10's stateful hand-off acknowledges the state transfer and the request separately per backend; the extra round is the protocol, and both ends are pinned to one site",
+			}},
+			CostVerdict: "clean",
 		},
 		{
 			Name: "watched-failover",
@@ -121,6 +191,18 @@ func Catalogue() []CatalogueEntry {
 			}},
 			CheckVerdict: "liveness",
 			CheckNote:    "the watchdog's recovery junctions are guarded on instance crashes (¬@running) and crash faults are outside the checker's transition relation",
+			// The arbiter must observe the others' liveness in-process, so
+			// the whole quartet is pinned to one site.
+			CostPlacement: map[string]string{
+				WatchedFront: "site", Watchdog: "site",
+				PrimaryBackend: "site", StandbyBackend: "site",
+			},
+			CostPins: map[string]bool{
+				WatchedFront: true, Watchdog: true,
+				PrimaryBackend: true, StandbyBackend: true,
+			},
+			CostVerdict: "findings",
+			CostNote:    "the watchdog junctions are poll-bound on @running by design — crash detection cannot be event-driven (costpoll warnings) — and the backends' Reply mutual-exclusion probes poll the peer's table (§7.4); the findings are the pattern's documented price",
 		},
 	}
 }

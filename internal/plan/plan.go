@@ -43,6 +43,36 @@ type ReadSet struct {
 	// element universe is not statically resolvable; Props then under-lists
 	// the formula's keys. Unbounded implies Remote.
 	Unbounded bool
+	// Origins records where each read came from, one entry per distinct
+	// (key, qualifier) pair — including the remote-qualified and unbounded
+	// reads that contribute no Props key. Consumers that only care about
+	// subscription keys can ignore it; the cost analysis uses it to attribute
+	// poll-bound reads to their declaring junction.
+	Origins []ReadOrigin
+}
+
+// ReadOrigin is the provenance of one read of a formula's read-set.
+type ReadOrigin struct {
+	// Key is the resolved table key at the declaring junction. Empty when the
+	// read is an idx family whose universe could not be expanded.
+	Key string
+	// Junction is the resolved junction qualifier of a remote-qualified read
+	// ("other::junction" in other::junction@P), with me:: tokens substituted.
+	// It may still be a bare instance name when the program resolves the
+	// junction at a level this function cannot see. Empty for local reads.
+	Junction string
+	// Remote mirrors the ReadSet classification for this one read: true when
+	// the local table's keyed subscriptions cannot observe it.
+	Remote bool
+	// Liveness is true for @-prefixed runtime predicates (@running), which
+	// read scheduler liveness state rather than any table.
+	Liveness bool
+	// IdxFamily names the idx variable the key was expanded from; empty for
+	// direct reads.
+	IdxFamily string
+	// Unbounded is true when IdxFamily's element universe was not statically
+	// resolvable (Key is then empty).
+	Unbounded bool
 }
 
 // LocalOnly reports whether every input of the formula is observable through
@@ -160,15 +190,28 @@ func compileInvariant(p *dsl.Program, inv dsl.Invariant) Invariant {
 func FormulaReadSet(ji *analysis.JunctionInfo, f formula.Formula) ReadSet {
 	var rs ReadSet
 	seen := map[string]bool{}
+	seenOrigin := map[ReadOrigin]bool{}
 	add := func(key string) {
 		if !seen[key] {
 			seen[key] = true
 			rs.Props = append(rs.Props, key)
 		}
 	}
+	origin := func(o ReadOrigin) {
+		if !seenOrigin[o] {
+			seenOrigin[o] = true
+			rs.Origins = append(rs.Origins, o)
+		}
+	}
 	for _, p := range formula.Props(f) {
 		if p.Junction != "" || strings.HasPrefix(p.Name, "@") {
 			rs.Remote = true
+			origin(ReadOrigin{
+				Key:      ji.ResolveName(p.Name),
+				Junction: ji.ResolveName(p.Junction),
+				Remote:   true,
+				Liveness: strings.HasPrefix(p.Name, "@"),
+			})
 			continue
 		}
 		if base, idxVar, ok := dsl.SplitIdxProp(p.Name); ok {
@@ -177,14 +220,19 @@ func FormulaReadSet(ji *analysis.JunctionInfo, f formula.Formula) ReadSet {
 			if !known {
 				rs.Remote = true
 				rs.Unbounded = true
+				origin(ReadOrigin{IdxFamily: idxVar, Remote: true, Unbounded: true})
 				continue
 			}
 			for _, e := range elems {
-				add(dsl.IndexedName(base, ji.ResolveName(e)))
+				key := dsl.IndexedName(base, ji.ResolveName(e))
+				add(key)
+				origin(ReadOrigin{Key: key, IdxFamily: idxVar})
 			}
 			continue
 		}
-		add(ji.ResolveName(p.Name))
+		key := ji.ResolveName(p.Name)
+		add(key)
+		origin(ReadOrigin{Key: key})
 	}
 	return rs
 }

@@ -143,3 +143,92 @@ func TestMeResolvedReadsStayLocal(t *testing.T) {
 		t.Fatalf("junction-qualified me:: read not Remote: %+v", rs)
 	}
 }
+
+// ReadSet.Origins must attribute every read of a formula — including the
+// remote-qualified and unbounded ones that contribute no subscription key —
+// to its declaring junction, with me:: qualifiers resolved.
+func TestFormulaReadSetOrigins(t *testing.T) {
+	decls := dsl.Decls(
+		dsl.InitProp{Name: "Local", Init: false},
+		dsl.DeclSet{Name: "S", Elems: []string{"x", "y"}},
+		dsl.DeclIdx{Name: "tgt", Of: "S"},
+	)
+	cases := []struct {
+		name string
+		f    formula.Formula
+		want []plan.ReadOrigin
+	}{
+		{
+			name: "local",
+			f:    formula.P("Local"),
+			want: []plan.ReadOrigin{{Key: "Local"}},
+		},
+		{
+			name: "junction-qualified",
+			f:    formula.At("other::j", "Work"),
+			want: []plan.ReadOrigin{{Key: "Work", Junction: "other::j", Remote: true}},
+		},
+		{
+			name: "me-qualified",
+			f:    formula.At("me::instance::j", "Work"),
+			want: []plan.ReadOrigin{{Key: "Work", Junction: "a::j", Remote: true}},
+		},
+		{
+			name: "liveness",
+			f:    formula.At("other::j", "@running"),
+			want: []plan.ReadOrigin{{Key: "@running", Junction: "other::j", Remote: true, Liveness: true}},
+		},
+		{
+			name: "idx-family-expanded",
+			f:    dsl.PropIdx("Work", "tgt"),
+			want: []plan.ReadOrigin{
+				{Key: dsl.IndexedName("Work", "x"), IdxFamily: "tgt"},
+				{Key: dsl.IndexedName("Work", "y"), IdxFamily: "tgt"},
+			},
+		},
+		{
+			name: "idx-family-unbounded",
+			f:    dsl.PropIdx("Work", "nope"),
+			want: []plan.ReadOrigin{{IdxFamily: "nope", Remote: true, Unbounded: true}},
+		},
+		{
+			name: "mixed-deduped",
+			f: formula.And(
+				formula.And(formula.P("Local"), formula.P("Local")),
+				formula.At("other::j", "Work"),
+			),
+			want: []plan.ReadOrigin{
+				{Key: "Local"},
+				{Key: "Work", Junction: "other::j", Remote: true},
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ji := infoOf(t, decls, dsl.Skip{})
+			rs := plan.FormulaReadSet(ji, tc.f)
+			got := append([]plan.ReadOrigin(nil), rs.Origins...)
+			sort.Slice(got, func(i, j int) bool { return got[i].Key < got[j].Key })
+			want := append([]plan.ReadOrigin(nil), tc.want...)
+			sort.Slice(want, func(i, j int) bool { return want[i].Key < want[j].Key })
+			if len(got) != len(want) {
+				t.Fatalf("origins = %+v, want %+v", got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("origin[%d] = %+v, want %+v", i, got[i], want[i])
+				}
+			}
+			// Each origin with a key and no Remote flag must appear in Props.
+			keys := map[string]bool{}
+			for _, k := range rs.Props {
+				keys[k] = true
+			}
+			for _, o := range got {
+				if !o.Remote && !keys[o.Key] {
+					t.Fatalf("local origin %+v missing from Props %v", o, rs.Props)
+				}
+			}
+		})
+	}
+}

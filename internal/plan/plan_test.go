@@ -47,7 +47,7 @@ func TestCompileCoversEveryJunction(t *testing.T) {
 
 func TestLocalGuardReadSet(t *testing.T) {
 	pp := buildSharding(t)
-	back := pp.Junctions[patterns.BackInstance(0) + "::" + patterns.ShardJunction]
+	back := pp.Junctions[patterns.BackInstance(0)+"::"+patterns.ShardJunction]
 	if back == nil || back.Guard == nil {
 		t.Fatal("back junction or its guard read-set missing")
 	}
