@@ -209,6 +209,18 @@ func (c *remoteCounter) Emit(e obsv.Event) {
 	c.mu.Unlock()
 }
 
+// snapshot copies the current per-edge tallies, so a caller can diff counts
+// across experiment phases.
+func (c *remoteCounter) snapshot() map[[2]string]float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[[2]string]float64, len(c.counts))
+	for k, v := range c.counts {
+		out[k] = v
+	}
+	return out
+}
+
 // costEdgeRow is one validated edge: the model's prediction next to the
 // measured per-invocation count.
 type costEdgeRow struct {
@@ -225,111 +237,119 @@ type costTrialResult struct {
 	measuredCross  float64
 }
 
-// costTrial deploys one architecture split across two TCP-bridged networks
-// per its placement, drives the root junction n times, and pairs the model's
-// per-edge predictions with the measured remote.queued counts.
+// costDeployment wires one architecture's two-machine split as a first-class
+// runtime.Deployment over real TCP: location A (the root's machines) and
+// location B each own a network served over a listener, and the directed
+// uplinks are transport clients. The caller must Close the returned system
+// and each closer, in order.
+func costDeployment(cfg Config, e costEntry, sink obsv.Sink) (*runtime.System, *runtime.Deployment, []func(), error) {
+	var closers []func()
+	fail := func(err error) (*runtime.System, *runtime.Deployment, []func(), error) {
+		for i := len(closers) - 1; i >= 0; i-- {
+			closers[i]()
+		}
+		return nil, nil, nil, err
+	}
+
+	netA := compart.NewNetwork(cfg.Seed)
+	closers = append(closers, netA.Close)
+	netB := compart.NewNetwork(cfg.Seed + 1)
+	closers = append(closers, netB.Close)
+
+	lA, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fail(err)
+	}
+	srvA := compart.ServeTCP(netA, lA)
+	closers = append(closers, func() { srvA.Close() })
+	lB, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fail(err)
+	}
+	srvB := compart.ServeTCP(netB, lB)
+	closers = append(closers, func() { srvB.Close() })
+
+	ccfg := compart.ClientConfig{QueueSize: 4096}
+	toB, err := compart.DialTCPConfig(srvB.Addr().String(), ccfg)
+	if err != nil {
+		return fail(err)
+	}
+	closers = append(closers, func() { toB.Close() })
+	toA, err := compart.DialTCPConfig(srvA.Addr().String(), ccfg)
+	if err != nil {
+		return fail(err)
+	}
+	closers = append(closers, func() { toA.Close() })
+
+	// Group instances onto the two machines: the root's location is machine
+	// A, everything else machine B.
+	rootLoc := e.placement[e.rootInst]
+	dep := runtime.NewDeployment().
+		AddLocation("A", netA).
+		AddLocation("B", netB).
+		Connect("A", "B", toB.Send).
+		Connect("B", "A", toA.Send)
+	model := e.build()
+	for _, inst := range model.InstanceNames() {
+		if e.placement[inst] == rootLoc {
+			dep.Place(inst, "A")
+		} else {
+			dep.Place(inst, "B")
+		}
+	}
+
+	sys, err := newSystemWith(e.build(), func(o *runtime.Options) {
+		o.Deploy = dep
+		o.AckTimeout = 10 * time.Second
+		o.Trace = sink
+	})
+	if err != nil {
+		return fail(err)
+	}
+	for _, inst := range model.InstanceNames() {
+		if err := sys.StartInstance(inst, nil); err != nil {
+			sys.Close()
+			return fail(err)
+		}
+	}
+	return sys, dep, closers, nil
+}
+
+// costTrial deploys one architecture split across two TCP-bridged locations
+// of a single deployment per its placement, drives the root junction n
+// times, and pairs the model's per-edge predictions with the measured
+// remote.queued counts.
 func costTrial(cfg Config, e costEntry, n int) (costTrialResult, error) {
 	model := e.build()
 	if err := dsl.Validate(model); err != nil {
 		return costTrialResult{}, err
 	}
-	ctx := analysis.NewContext(model, 0)
-	m := cost.Build(ctx)
-
-	// Group instances into the two machines: the root's location is machine
-	// A, everything else machine B.
-	rootLoc := e.placement[e.rootInst]
-	hostA := map[string]bool{}
-	for _, inst := range model.InstanceNames() {
-		hostA[inst] = e.placement[inst] == rootLoc
-	}
-	juncsOf := func(onA bool) []string {
-		var out []string
-		for _, ji := range ctx.Juncs {
-			if hostA[ji.Inst] == onA {
-				out = append(out, ji.FQ)
-			}
-		}
-		sort.Strings(out)
-		return out
-	}
+	m := cost.Build(analysis.NewContext(model, 0))
 
 	counter := newRemoteCounter()
-	netA := compart.NewNetwork(cfg.Seed)
-	defer netA.Close()
-	netB := compart.NewNetwork(cfg.Seed + 1)
-	defer netB.Close()
-	tweak := func(nw *compart.Network) func(*runtime.Options) {
-		return func(o *runtime.Options) {
-			o.Net = nw
-			o.AckTimeout = 10 * time.Second
-			o.Trace = counter
+	sys, dep, closers, err := costDeployment(cfg, e, counter)
+	if err != nil {
+		return costTrialResult{}, err
+	}
+	defer func() {
+		sys.Close()
+		for i := len(closers) - 1; i >= 0; i-- {
+			closers[i]()
 		}
-	}
-	sysA, err := newSystemWith(e.build(), tweak(netA))
-	if err != nil {
-		return costTrialResult{}, err
-	}
-	defer sysA.Close()
-	sysB, err := newSystemWith(e.build(), tweak(netB))
-	if err != nil {
-		return costTrialResult{}, err
-	}
-	defer sysB.Close()
-
-	lA, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		return costTrialResult{}, err
-	}
-	srvA := compart.ServeTCP(netA, lA)
-	defer srvA.Close()
-	lB, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		return costTrialResult{}, err
-	}
-	srvB := compart.ServeTCP(netB, lB)
-	defer srvB.Close()
-
-	ccfg := compart.ClientConfig{QueueSize: 4096}
-	toB, err := compart.DialTCPConfig(srvB.Addr().String(), ccfg)
-	if err != nil {
-		return costTrialResult{}, err
-	}
-	defer toB.Close()
-	toA, err := compart.DialTCPConfig(srvA.Addr().String(), ccfg)
-	if err != nil {
-		return costTrialResult{}, err
-	}
-	defer toA.Close()
-
-	for _, inst := range model.InstanceNames() {
-		sys := sysA
-		if !hostA[inst] {
-			sys = sysB
-		}
-		if err := sys.StartInstance(inst, nil); err != nil {
-			return costTrialResult{}, err
-		}
-	}
-	for _, fq := range juncsOf(false) {
-		compart.Bridge(netA, fq, toB)
-	}
-	for _, fq := range juncsOf(true) {
-		compart.Bridge(netB, fq, toA)
-	}
+	}()
 
 	dctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
 	for i := 0; i < n; i++ {
-		if err := sysA.Invoke(dctx, e.rootInst, e.rootJn); err != nil {
+		if err := sys.Invoke(dctx, e.rootInst, e.rootJn); err != nil {
 			return costTrialResult{}, fmt.Errorf("invocation %d: %w", i, err)
 		}
 	}
 	// Let trailing deliveries (the final response retraction's ack, queued
 	// cross-bridge frames) land before the counters are read.
 	time.Sleep(150 * time.Millisecond)
-	if !netA.Stats().Conserved() || !netB.Stats().Conserved() {
-		return costTrialResult{}, fmt.Errorf("transport counters not conserved: A %+v B %+v", netA.Stats(), netB.Stats())
+	if stA, stB := dep.Net("A").Stats(), dep.Net("B").Stats(); !stA.Conserved() || !stB.Conserved() {
+		return costTrialResult{}, fmt.Errorf("transport counters not conserved: A %+v B %+v", stA, stB)
 	}
 
 	counter.mu.Lock()
@@ -343,7 +363,7 @@ func costTrial(cfg Config, e costEntry, n int) (costTrialResult, error) {
 			measured:  counter.counts[[2]string{edge.From, edge.To}] / float64(n),
 		}
 		fromJ, toJ := m.Junctions[edge.From], m.Junctions[edge.To]
-		row.cross = hostA[fromJ.Info.Inst] != hostA[toJ.Info.Inst]
+		row.cross = dep.LocationOf(fromJ.Info.Inst) != dep.LocationOf(toJ.Info.Inst)
 		if row.cross {
 			res.predictedCross += row.predicted
 			res.measuredCross += row.measured

@@ -1,0 +1,308 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"csaw/internal/analysis"
+	"csaw/internal/cost"
+	"csaw/internal/dsl"
+	"csaw/internal/obsv"
+	"csaw/internal/patterns"
+)
+
+// Migration validates live reconfiguration end to end: the sharding
+// architecture is deployed across two TCP-bridged locations under its
+// recorded placement (Fnt at the edge, all four backends at the core), driven
+// for a phase of invocations, and then the placement optimizer's suggested
+// moves are applied to the RUNNING system with cost.ApplyMove — each move an
+// online MigrateInstance whose state transfer rides the same TCP uplinks as
+// the workload. A second phase of identical drives then measures the wire
+// again. The experiment gates on the optimizer's headline numbers holding on
+// a live system: cross-location updates per invocation must drop from 4.0 to
+// 2.0 (within ±0.2 of each), and every migration must complete (no aborts)
+// with its blackout window reported from the migrate.* trace events.
+func Migration(cfg Config) (Result, error) {
+	cfg.fill()
+	// Invocations per phase: multiple of 4 so the round-robin shard chooser
+	// lands exactly evenly, clamped for the CI smoke run.
+	n := cfg.Ticks
+	if n < 24 {
+		n = 24
+	}
+	if n > 96 {
+		n = 96
+	}
+	n -= n % 4
+
+	var sharding costEntry
+	for _, e := range costEntries() {
+		if e.name == "sharding" {
+			sharding = e
+		}
+	}
+	cat, _ := patterns.CatalogueEntryByName("sharding")
+
+	model := sharding.build()
+	if err := dsl.Validate(model); err != nil {
+		return Result{}, err
+	}
+	m := cost.Build(analysis.NewContext(model, 0))
+	_, moves := cost.Optimize(m, cat.CostPlacement, cat.CostPins, nil)
+	if len(moves) == 0 {
+		return Result{}, fmt.Errorf("optimizer suggested no moves for %s", cat.Name)
+	}
+
+	counter := newRemoteCounter()
+	rec := &migrateRecorder{}
+	sys, dep, closers, err := costDeployment(cfg, sharding, teeSink{counter, rec})
+	if err != nil {
+		return Result{}, err
+	}
+	defer func() {
+		sys.Close()
+		for i := len(closers) - 1; i >= 0; i-- {
+			closers[i]()
+		}
+	}()
+
+	// crossPerInvocation classifies each measured edge by the placement in
+	// force during its phase and sums the location-crossing rates.
+	crossPerInvocation := func(counts map[[2]string]float64, placeOf map[string]string) float64 {
+		var cross float64
+		for k, v := range counts {
+			fromJ, okF := m.Junctions[k[0]]
+			toJ, okT := m.Junctions[k[1]]
+			if !okF || !okT {
+				continue
+			}
+			if placeOf[fromJ.Info.Inst] != placeOf[toJ.Info.Inst] {
+				cross += v
+			}
+		}
+		return cross / float64(n)
+	}
+	placementNow := func() map[string]string {
+		out := map[string]string{}
+		for _, inst := range dep.Instances() {
+			out[inst] = dep.LocationOf(inst)
+		}
+		return out
+	}
+	drive := func(phase string) error {
+		dctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		for i := 0; i < n; i++ {
+			if err := sys.Invoke(dctx, sharding.rootInst, sharding.rootJn); err != nil {
+				return fmt.Errorf("%s invocation %d: %w", phase, i, err)
+			}
+		}
+		// Let trailing cross-uplink deliveries land before counters are read.
+		time.Sleep(150 * time.Millisecond)
+		return nil
+	}
+
+	// Phase 1: the recorded placement, as deployed.
+	beforePlace := placementNow()
+	if err := drive("phase 1"); err != nil {
+		return Result{}, err
+	}
+	phase1 := counter.snapshot()
+	before := crossPerInvocation(phase1, beforePlace)
+
+	// Live reconfiguration: apply every optimizer move to the running system.
+	migStart := time.Now()
+	for _, mv := range moves {
+		// The optimizer speaks the catalogue's location names (edge/core);
+		// the deployment maps the root's location to A and the rest to B.
+		rt := analysis.PlacementMove{Instance: mv.Instance, Delta: mv.Delta}
+		rt.From, rt.To = benchLoc(cat.CostPlacement, sharding, mv.From), benchLoc(cat.CostPlacement, sharding, mv.To)
+		if err := cost.ApplyMove(sys, rt); err != nil {
+			return Result{}, fmt.Errorf("applying move %s %s->%s: %w", mv.Instance, mv.From, mv.To, err)
+		}
+	}
+	migWall := time.Since(migStart)
+
+	// Phase 2: same workload against the reconfigured system.
+	afterPlace := placementNow()
+	if err := drive("phase 2"); err != nil {
+		return Result{}, err
+	}
+	phase2 := diffCounts(counter.snapshot(), phase1)
+	after := crossPerInvocation(phase2, afterPlace)
+
+	for _, loc := range dep.Locations() {
+		if st := dep.Net(loc).Stats(); !st.Conserved() {
+			return Result{}, fmt.Errorf("location %s transport counters not conserved after live migration: %+v", loc, st)
+		}
+	}
+
+	// Reconstruct the per-migration timeline from the trace events.
+	migs, aborts := rec.timeline()
+	if aborts != 0 {
+		return Result{}, fmt.Errorf("%d migration(s) aborted", aborts)
+	}
+	if len(migs) != len(moves) {
+		return Result{}, fmt.Errorf("expected %d completed migrations, traced %d", len(moves), len(migs))
+	}
+
+	// The gates: the optimizer's predicted 4.0 -> 2.0 must hold on the wire.
+	const wantBefore, wantAfter, tol = 4.0, 2.0, 0.2
+	if d := before - wantBefore; d < -tol || d > tol {
+		return Result{}, fmt.Errorf("pre-migration cross-location traffic %.3f updates/invocation, want %.1f±%.1f", before, wantBefore, tol)
+	}
+	if d := after - wantAfter; d < -tol || d > tol {
+		return Result{}, fmt.Errorf("post-migration cross-location traffic %.3f updates/invocation, want %.1f±%.1f", after, wantAfter, tol)
+	}
+
+	table := Table{Header: []string{"phase", "placement", "cross-location upd/invoke"}}
+	table.Rows = append(table.Rows,
+		[]string{"before", renderPlacement(beforePlace), fmt.Sprintf("%.3f", before)},
+		[]string{"after", renderPlacement(afterPlace), fmt.Sprintf("%.3f", after)},
+	)
+	migTable := Table{Header: []string{"migration", "state bytes", "junctions", "blackout", "quiesce"}}
+	var notes []string
+	for _, mg := range migs {
+		migTable.Rows = append(migTable.Rows, []string{
+			fmt.Sprintf("%s -> %s", mg.inst, mg.dest),
+			fmt.Sprintf("%d", mg.bytes),
+			fmt.Sprintf("%d", mg.junctions),
+			mg.blackout.String(),
+			mg.quiesce.String(),
+		})
+		notes = append(notes, fmt.Sprintf(
+			"migrated %s to %s live: %d junction(s), %dB of state over TCP, blackout %s (quiesce %s)",
+			mg.inst, mg.dest, mg.junctions, mg.bytes, mg.blackout, mg.quiesce))
+	}
+	notes = append(notes, fmt.Sprintf(
+		"live reconfiguration cut measured cross-location traffic %.3f -> %.3f updates/invocation (optimizer predicted 4.0 -> 2.0); %d moves applied in %s total",
+		before, after, len(moves), migWall.Round(time.Millisecond)))
+
+	return Result{
+		ID: "Migration",
+		Caption: fmt.Sprintf("Online instance migration applying optimizer placement moves to a running TCP deployment (%d invocations per phase)",
+			n),
+		XLabel: "phase (0 = before, 1 = after)",
+		YLabel: "cross-location updates per invocation",
+		Series: []Series{{Name: "measured cross-location updates/invocation", X: []float64{0, 1}, Y: []float64{before, after}}},
+		Tables: []Table{table, migTable},
+		Notes:  notes,
+	}, nil
+}
+
+// benchLoc maps a catalogue location name (edge/core) onto the two-machine
+// A/B split costDeployment builds: the root's recorded location is A.
+func benchLoc(ref map[string]string, e costEntry, loc string) string {
+	if loc == ref[e.rootInst] {
+		return "A"
+	}
+	return "B"
+}
+
+// diffCounts subtracts an earlier counter snapshot from a later one.
+func diffCounts(later, earlier map[[2]string]float64) map[[2]string]float64 {
+	out := make(map[[2]string]float64, len(later))
+	for k, v := range later {
+		if d := v - earlier[k]; d > 0 {
+			out[k] = d
+		}
+	}
+	return out
+}
+
+// renderPlacement renders an instance->location map compactly and
+// deterministically ("Bck1:B Bck2:B ... Fnt:A").
+func renderPlacement(place map[string]string) string {
+	insts := make([]string, 0, len(place))
+	for inst := range place {
+		insts = append(insts, inst)
+	}
+	sort.Strings(insts)
+	s := ""
+	for i, inst := range insts {
+		if i > 0 {
+			s += " "
+		}
+		s += inst + ":" + place[inst]
+	}
+	return s
+}
+
+// teeSink fans one trace stream out to several sinks.
+type teeSink []obsv.Sink
+
+// Emit implements obsv.Sink.
+func (t teeSink) Emit(e obsv.Event) {
+	for _, s := range t {
+		s.Emit(e)
+	}
+}
+
+// migrateRecorder retains the migrate.* lifecycle events.
+type migrateRecorder struct {
+	mu     sync.Mutex
+	events []obsv.Event
+}
+
+// Emit implements obsv.Sink.
+func (r *migrateRecorder) Emit(e obsv.Event) {
+	switch e.Kind {
+	case obsv.EvMigrateBegin, obsv.EvMigrateQuiesce, obsv.EvMigrateTransfer,
+		obsv.EvMigrateCutover, obsv.EvMigrateResume, obsv.EvMigrateAbort:
+		r.mu.Lock()
+		r.events = append(r.events, e)
+		r.mu.Unlock()
+	}
+}
+
+// migRecord is one reconstructed migration: the instance, where it went, how
+// much state crossed the wire, and the measured stall windows (blackout =
+// quiesce start to resume, from the resume event's Dur; quiesce = driver and
+// in-flight drain time, from the quiesce event's Dur).
+type migRecord struct {
+	inst, dest string
+	junctions  int
+	bytes      int64
+	blackout   time.Duration
+	quiesce    time.Duration
+}
+
+// timeline folds the retained events into per-migration records (in begin
+// order) plus the abort count.
+func (r *migrateRecorder) timeline() ([]migRecord, int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []migRecord
+	aborts := 0
+	cur := -1
+	for _, e := range r.events {
+		switch e.Kind {
+		case obsv.EvMigrateBegin:
+			out = append(out, migRecord{inst: e.Junction, dest: e.Key})
+			cur = len(out) - 1
+		case obsv.EvMigrateAbort:
+			aborts++
+			if cur >= 0 {
+				out = out[:cur]
+				cur = -1
+			}
+		}
+		if cur < 0 {
+			continue
+		}
+		switch e.Kind {
+		case obsv.EvMigrateQuiesce:
+			out[cur].quiesce = e.Dur
+		case obsv.EvMigrateTransfer:
+			out[cur].junctions++
+			out[cur].bytes += e.N
+		case obsv.EvMigrateResume:
+			out[cur].blackout = e.Dur
+			cur = -1
+		}
+	}
+	return out, aborts
+}

@@ -69,5 +69,6 @@ func All() []Experiment {
 		{"Transport-recovery", TransportRecovery},
 		{"Net-batching", NetBatching},
 		{"Cost-validation", CostValidation},
+		{"Migration", Migration},
 	}
 }

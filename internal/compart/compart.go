@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"time"
 )
@@ -182,7 +183,8 @@ func (n *Network) Up(name string) bool {
 	return ok && ep.up
 }
 
-// Endpoints returns the names of all registered endpoints.
+// Endpoints returns the names of all registered endpoints, sorted, so
+// listings are deterministic across runs and map-iteration orders.
 func (n *Network) Endpoints() []string {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -190,6 +192,7 @@ func (n *Network) Endpoints() []string {
 	for name := range n.endpoints {
 		out = append(out, name)
 	}
+	sort.Strings(out)
 	return out
 }
 

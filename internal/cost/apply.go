@@ -1,0 +1,23 @@
+package cost
+
+import (
+	"fmt"
+
+	"csaw/internal/analysis"
+	"csaw/internal/runtime"
+)
+
+// ApplyMove executes one optimizer-suggested relocation against a live
+// system: the static analysis half (Optimize) decides the move, the runtime
+// half (System.MigrateInstance) performs it online. The move's From is
+// checked against the system's current placement first, so a stale plan —
+// computed before some other reconfiguration — fails loudly instead of
+// silently moving an instance the optimizer priced somewhere else.
+func ApplyMove(sys *runtime.System, mv analysis.PlacementMove) error {
+	cur := sys.Deployment().LocationOf(mv.Instance)
+	if cur != mv.From {
+		return fmt.Errorf("cost: stale move for %q: plan says %s→%s but instance is at %s",
+			mv.Instance, mv.From, mv.To, cur)
+	}
+	return sys.MigrateInstance(mv.Instance, mv.To)
+}

@@ -1,0 +1,76 @@
+package kv
+
+// TableState is a whole-table export used by live instance migration: the
+// declared propositions, the data slots, and — unlike the transactional
+// Snapshot — the pending remote-update queue. Pending updates were delivered
+// and acknowledged, so their senders' statements already completed; dropping
+// them at migration would silently lose updates the protocol promised.
+// All fields are exported so the state rides internal/serial's compiled
+// codec plans (the same fast path remote writes use). An Update's unexported
+// arrival sequence is not encoded; RestoreAll re-sequences the queue in
+// slice order, preserving application order.
+type TableState struct {
+	Props   map[string]bool
+	Data    map[string]Value
+	Pending []Update
+}
+
+// SnapshotAll deep-copies the complete table state for transfer. The copy
+// shares no memory with the table, so it can be serialized after the table
+// resumes mutating.
+func (t *Table) SnapshotAll() TableState {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := TableState{
+		Props:   make(map[string]bool, len(t.props)),
+		Data:    make(map[string]Value, len(t.data)),
+		Pending: make([]Update, 0, len(t.pending)),
+	}
+	for k, v := range t.props {
+		st.Props[k] = v
+	}
+	for k, v := range t.data {
+		st.Data[k] = copyValue(v)
+	}
+	for _, u := range t.pending {
+		if u.Data != nil {
+			u.Data = append([]byte(nil), u.Data...)
+		}
+		u.seq = 0
+		st.Pending = append(st.Pending, u)
+	}
+	return st
+}
+
+// RestoreAll replaces the table's contents wholesale with an exported state:
+// declarations, values and the pending queue all come from st. It is meant
+// for a freshly built table on the migration destination — installed state
+// replaces the declaration-time initial values before the junction processes
+// anything — but works on any table: waiters and subscriptions survive, and
+// every subscriber is woken since any key may have changed.
+func (t *Table) RestoreAll(st TableState) {
+	t.mu.Lock()
+	t.props = make(map[string]bool, len(st.Props))
+	for k, v := range st.Props {
+		t.props[k] = v
+	}
+	t.data = make(map[string]Value, len(st.Data))
+	for k, v := range st.Data {
+		t.data[k] = copyValue(v)
+	}
+	t.pending = t.pending[:0]
+	for _, u := range st.Pending {
+		if u.Data != nil {
+			u.Data = append([]byte(nil), u.Data...)
+		}
+		u.seq = t.nextSeq
+		t.nextSeq++
+		t.pending = append(t.pending, u)
+	}
+	for _, s := range t.subs {
+		s.wake()
+	}
+	t.wakes.Add(uint64(len(t.subs)))
+	t.mu.Unlock()
+	t.ping()
+}

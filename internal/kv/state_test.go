@@ -1,0 +1,80 @@
+package kv
+
+import (
+	"reflect"
+	"testing"
+
+	"csaw/internal/serial"
+)
+
+// TestSnapshotAllRestoreAllRoundTrip checks the migration export: props,
+// data and the pending queue survive a snapshot → serial encode → decode →
+// restore round trip, and the restored queue applies in the original order.
+func TestSnapshotAllRestoreAllRoundTrip(t *testing.T) {
+	src := NewTable()
+	src.DeclareProp("P", true)
+	src.DeclareProp("Q", false)
+	src.DeclareData("d")
+	src.DeclareData("u") // stays undef
+	if err := src.SetData("d", []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	src.Enqueue(Update{Kind: UpdateProp, Key: "Q", Bool: true, From: "a::x"})
+	src.Enqueue(Update{Kind: UpdateData, Key: "d", Data: []byte{9}, From: "b::y"})
+
+	st := src.SnapshotAll()
+	blob, err := serial.Marshal(st)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var decoded TableState
+	if err := serial.Unmarshal(blob, &decoded); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+
+	dst := NewTable()
+	dst.RestoreAll(decoded)
+	if v, _ := dst.Prop("P"); !v {
+		t.Fatal("P lost")
+	}
+	if dst.Defined("u") {
+		t.Fatal("undef slot became defined")
+	}
+	if d, _ := dst.Data("d"); !reflect.DeepEqual(d, []byte{1, 2, 3}) {
+		t.Fatalf("d = %v", d)
+	}
+	if got := dst.PendingLen(); got != 2 {
+		t.Fatalf("pending = %d, want 2", got)
+	}
+	// The queue applies in original order: Q becomes true, d becomes {9}.
+	if n := dst.ApplyPending(); n != 2 {
+		t.Fatalf("applied %d, want 2", n)
+	}
+	if v, _ := dst.Prop("Q"); !v {
+		t.Fatal("pending assert lost")
+	}
+	if d, _ := dst.Data("d"); !reflect.DeepEqual(d, []byte{9}) {
+		t.Fatalf("pending write lost: d = %v", d)
+	}
+}
+
+// TestSnapshotAllIsDeepCopy checks the export shares no memory with the
+// live table: post-snapshot mutations must not leak into the state.
+func TestSnapshotAllIsDeepCopy(t *testing.T) {
+	src := NewTable()
+	src.DeclareData("d")
+	if err := src.SetData("d", []byte{7}); err != nil {
+		t.Fatal(err)
+	}
+	src.Enqueue(Update{Kind: UpdateData, Key: "d", Data: []byte{8}, From: "a::x"})
+	st := src.SnapshotAll()
+	if err := src.SetData("d", []byte{0}); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Data["d"].Data; !reflect.DeepEqual(got, []byte{7}) {
+		t.Fatalf("snapshot mutated: %v", got)
+	}
+	if got := st.Pending[0].Data; !reflect.DeepEqual(got, []byte{8}) {
+		t.Fatalf("pending snapshot mutated: %v", got)
+	}
+}

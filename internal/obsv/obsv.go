@@ -101,6 +101,21 @@ const (
 	// a single origin). Per-update EvRemoteQueued events still follow, each
 	// carrying its per-pair sequence number in N and its origin in Peer.
 	EvRemoteBatch
+
+	// Live migration lifecycle (runtime.System.MigrateInstance). Begin and
+	// resume carry the instance in Junction and the destination location in
+	// Key; quiesce's Dur is the time spent draining drivers and in-flight
+	// schedulings, resume's Dur the total blackout (quiesce start to
+	// resume). Transfer is emitted per junction (N = encoded state bytes),
+	// cutover per junction when its rebuilt table goes live at the
+	// destination. Abort carries the failure in Err; the source resumes
+	// intact.
+	EvMigrateBegin
+	EvMigrateQuiesce
+	EvMigrateTransfer
+	EvMigrateCutover
+	EvMigrateResume
+	EvMigrateAbort
 )
 
 var kindNames = map[Kind]string{
@@ -131,6 +146,12 @@ var kindNames = map[Kind]string{
 	EvCheckDeadlock:       "check.deadlock",
 	EvCheckInvariant:      "check.invariant-violated",
 	EvRemoteBatch:         "remote.batch",
+	EvMigrateBegin:        "migrate.begin",
+	EvMigrateQuiesce:      "migrate.quiesce",
+	EvMigrateTransfer:     "migrate.transfer",
+	EvMigrateCutover:      "migrate.cutover",
+	EvMigrateResume:       "migrate.resume",
+	EvMigrateAbort:        "migrate.abort",
 }
 
 // String returns the dotted event name used in JSONL output.

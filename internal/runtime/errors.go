@@ -36,6 +36,12 @@ var (
 	ErrSendFailed = errors.New("runtime: remote update failed")
 )
 
+// ErrMigrated marks a retired junction incarnation: the instance was
+// migrated to another location and this object's state now lives in the
+// replacement. Invoke/InvokeWhenReady absorb it by re-resolving; only code
+// holding a stale *Junction across a migration can observe it.
+var ErrMigrated = errors.New("runtime: junction migrated")
+
 // ErrPeerDown is the ErrSendFailed case where the substrate already knows
 // the destination is down (crashed endpoint, or a liveness-tracking bridge
 // whose transport heartbeats went unanswered — see compart.BridgeLive).

@@ -2,11 +2,14 @@ package runtime
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"csaw/internal/compart"
 	"csaw/internal/dsl"
 	"csaw/internal/formula"
 	"csaw/internal/kv"
@@ -23,6 +26,15 @@ type Junction struct {
 
 	// FQName is the junction's fully-qualified name "instance::junction".
 	FQName string
+
+	// net is the location network this junction's endpoint lives on; all of
+	// its sends (updates and acks) go out through it.
+	net *compart.Network
+
+	// moved flips when the junction's state has been transferred to a new
+	// incarnation at another location: this object is retired, Schedule
+	// answers ErrMigrated, and Invoke/InvokeWhenReady re-resolve.
+	moved atomic.Bool
 
 	table *kv.Table
 
@@ -56,22 +68,26 @@ type Junction struct {
 	pj   *plan.Junction
 	comp *compiledJunction
 
-	driverOnce sync.Once
-	stopCh     chan struct{}
-	driverWG   sync.WaitGroup
+	// Driver lifecycle. driverOn + a fresh stopCh per start make the driver
+	// restartable: migration quiesces drivers on the source and the rebuilt
+	// junction starts its own (an abort restarts the source's).
+	driverMu sync.Mutex
+	driverOn bool
+	stopCh   chan struct{}
+	driverWG sync.WaitGroup
 }
 
-func newJunction(s *System, inst *Instance, def *dsl.JunctionDef) *Junction {
+func newJunction(s *System, inst *Instance, def *dsl.JunctionDef, net *compart.Network) *Junction {
 	j := &Junction{
 		sys:     s,
 		inst:    inst,
 		def:     def,
 		FQName:  inst.Name + "::" + def.Name,
+		net:     net,
 		table:   kv.NewTable(),
 		sets:    map[string][]string{},
 		subsets: map[string][]string{},
 		idxs:    map[string]string{},
-		stopCh:  make(chan struct{}),
 	}
 	j.met = s.obs.Junction(j.FQName)
 	j.table.SetWakeHook(func(kind kv.UpdateKind, key string, woken int) {
@@ -103,6 +119,16 @@ func newJunction(s *System, inst *Instance, def *dsl.JunctionDef) *Junction {
 		j.comp = j.compile(j.pj)
 	}
 	return j
+}
+
+// endpointHandlers returns the handler pair the junction registers on the
+// substrate, respecting the batching ablation (nil batch handler there, so
+// envelopes decode to per-message deliveries).
+func (j *Junction) endpointHandlers() (compart.Handler, compart.BatchHandler) {
+	if j.sys.opts.DisableBatching {
+		return j.handleMessage, nil
+	}
+	return j.handleMessage, j.handleBatch
 }
 
 // resolveSelfName substitutes the me::instance / me::junction tokens with
@@ -146,6 +172,11 @@ func (j *Junction) GuardTrue() bool {
 func (j *Junction) Schedule(ctx context.Context) error {
 	j.schedMu.Lock()
 	defer j.schedMu.Unlock()
+	if j.moved.Load() {
+		// Migration holds schedMu until the new incarnation is live, so by
+		// the time a caller gets here the replacement is resolvable.
+		return fmt.Errorf("%w: %s", ErrMigrated, j.FQName)
+	}
 	if !j.inst.running.Load() {
 		return fmt.Errorf("%w: instance %q", ErrNotRunning, j.inst.Name)
 	}
@@ -225,14 +256,22 @@ func (j *Junction) Schedule(ctx context.Context) error {
 // path is event-driven over keyed subscriptions; the interpreter ablation
 // keeps the seed's coalesced-notify + poll loop.
 func (j *Junction) startDriver() {
-	j.driverOnce.Do(func() {
-		j.driverWG.Add(1)
-		if j.comp != nil && j.comp.guardRS != nil {
-			go j.runDriverEvent()
-			return
-		}
-		go j.runDriverPoll()
-	})
+	j.driverMu.Lock()
+	defer j.driverMu.Unlock()
+	if j.driverOn {
+		return
+	}
+	j.driverOn = true
+	// Each start gets its own stop channel; the loops capture it so a stop
+	// racing a later restart can never close a channel a newer loop owns.
+	stop := make(chan struct{})
+	j.stopCh = stop
+	j.driverWG.Add(1)
+	if j.comp != nil && j.comp.guardRS != nil {
+		go j.runDriverEvent(stop)
+		return
+	}
+	go j.runDriverPoll(stop)
 }
 
 // runDriverEvent schedules on keyed wakes: the driver subscribes to the
@@ -240,7 +279,7 @@ func (j *Junction) startDriver() {
 // timer survives only as a fallback, armed when the guard consults remote
 // state the local table cannot observe, or after a body failure (so crash
 // loops keep retrying and transient remote failures recover).
-func (j *Junction) runDriverEvent() {
+func (j *Junction) runDriverEvent(stop <-chan struct{}) {
 	defer j.driverWG.Done()
 	rs := j.comp.guardRS
 	sub := j.table.Subscribe(rs.Props, nil)
@@ -249,7 +288,7 @@ func (j *Junction) runDriverEvent() {
 	defer timer.Stop()
 	for {
 		select {
-		case <-j.stopCh:
+		case <-stop:
 			return
 		default:
 		}
@@ -259,6 +298,10 @@ func (j *Junction) runDriverEvent() {
 			// (e.g. queued work), and a self-wake from the body's own writes
 			// is already buffered in the subscription.
 			continue
+		}
+		if errors.Is(err, ErrMigrated) {
+			// This incarnation is retired; its replacement runs its own driver.
+			return
 		}
 		notSched := isNotSchedulable(err)
 		if !notSched && !errorsIsNotRunning(err) {
@@ -274,7 +317,7 @@ func (j *Junction) runDriverEvent() {
 			}
 			timer.Reset(j.sys.opts.Poll)
 			select {
-			case <-j.stopCh:
+			case <-stop:
 				return
 			case <-sub.Ch():
 				j.noteWake(true)
@@ -285,7 +328,7 @@ func (j *Junction) runDriverEvent() {
 		}
 		// Local-only guard, not schedulable: pure event wait — no polling.
 		select {
-		case <-j.stopCh:
+		case <-stop:
 			return
 		case <-sub.Ch():
 			j.noteWake(true)
@@ -362,13 +405,13 @@ func (j *Junction) noteWaitTimeout(cond string) {
 // runDriverPoll is the seed driver loop, retained for the interpreter
 // ablation (Options.DisableCompiledPlan) and as the reference behaviour the
 // event-driven loop is tested against.
-func (j *Junction) runDriverPoll() {
+func (j *Junction) runDriverPoll(stop <-chan struct{}) {
 	defer j.driverWG.Done()
 	timer := time.NewTimer(j.sys.opts.Poll)
 	defer timer.Stop()
 	for {
 		select {
-		case <-j.stopCh:
+		case <-stop:
 			return
 		default:
 		}
@@ -377,6 +420,10 @@ func (j *Junction) runDriverPoll() {
 			// Body ran; look again immediately — the guard may still
 			// hold (e.g. queued work).
 			continue
+		}
+		if errors.Is(err, ErrMigrated) {
+			// This incarnation is retired; its replacement runs its own driver.
+			return
 		}
 		if !isNotSchedulable(err) && !errorsIsNotRunning(err) {
 			// Body failures are surfaced through the table's
@@ -392,7 +439,7 @@ func (j *Junction) runDriverPoll() {
 		}
 		timer.Reset(j.sys.opts.Poll)
 		select {
-		case <-j.stopCh:
+		case <-stop:
 			return
 		case <-j.table.Notify():
 			j.noteWake(true)
@@ -403,11 +450,14 @@ func (j *Junction) runDriverPoll() {
 }
 
 func (j *Junction) stopDriver() {
-	select {
-	case <-j.stopCh:
-	default:
-		close(j.stopCh)
+	j.driverMu.Lock()
+	if !j.driverOn {
+		j.driverMu.Unlock()
+		return
 	}
+	j.driverOn = false
+	close(j.stopCh)
+	j.driverMu.Unlock()
 	j.driverWG.Wait()
 }
 
@@ -676,7 +726,12 @@ func (j *Junction) env() formula.Env {
 			return formula.Unknown
 		}
 		other := j.sys.junctionQuiet(inst, jn)
-		if other == nil || !other.inst.running.Load() {
+		if other == nil || !other.inst.running.Load() || !j.sys.deploy.colocated(j.inst.Name, inst) {
+			// Not running — or placed at another location, where its table
+			// cannot be read in-process. Guards over cross-location state stay
+			// Unknown (never definitely true), matching the two-machine
+			// semantics a real distributed deployment has; @running likewise
+			// reflects only locally observable liveness.
 			if name == RunningProp {
 				return formula.False
 			}

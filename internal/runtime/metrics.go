@@ -22,7 +22,7 @@ type Metrics struct {
 // counts behind, which monitoring reads tolerate.
 func (s *System) Metrics() Metrics {
 	return Metrics{
-		Transport: s.net.Stats(),
+		Transport: s.TransportStats(),
 		Junctions: s.obs.Snapshot(),
 	}
 }

@@ -1,0 +1,427 @@
+// Live instance migration: System.MigrateInstance moves a running instance
+// between deployment locations without losing a single acknowledged update.
+// This is the runtime half of the reconfiguration story — the cost optimizer
+// (internal/cost) decides where instances should live; this file makes the
+// moves executable while the system keeps serving traffic.
+//
+// The protocol, per migration (one at a time — migrateMu):
+//
+//	quiesce    stop the instance's drivers, then take every junction's
+//	           schedMu. Remote sends happen inside schedulings, so holding
+//	           all schedMus means no update from this instance is mid-send.
+//	park       swap each junction endpoint on the source network for a
+//	           buffering Parked endpoint (compart/park.go): frames keep
+//	           being delivered — and counted — but queue instead of landing
+//	           in a table that is about to be snapshotted.
+//	transfer   snapshot each junction (KV table including the pending
+//	           remote-update queue, idx/subset state, per-sender receive
+//	           frontiers), encode with internal/serial, and ship it to the
+//	           destination location's migration control endpoint over the
+//	           deployment uplink. The destination stages the blob and acks
+//	           back over the reverse uplink; the source waits out all acks
+//	           under the system's AckTimeout. Any failure aborts: parked
+//	           endpoints are released back into the old junction's handlers,
+//	           drivers restart, and the source keeps running untouched.
+//	cutover    build fresh junctions at the destination from the staged
+//	           state, register their real handlers on the destination
+//	           network, then flip the placement map, and only then release
+//	           the parked source endpoints into forwarding proxies. The
+//	           ordering is the correctness pivot: once the map says "dest",
+//	           a proxy resolving the destination finds real handlers there,
+//	           and the dest==self short-circuit in Deployment.forward can
+//	           never meet another proxy.
+//	resume     restart drivers on the new junctions; retire the old ones
+//	           (moved flag → ErrMigrated → Invoke re-resolves).
+//
+// Updates delivered to the source after the snapshot but before the park
+// took effect are recovered by a delta pass at cutover: the old table's
+// pending queue is re-read and the tail beyond the snapshot is enqueued into
+// the new table, so an acknowledged update is never dropped.
+package runtime
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"csaw/internal/compart"
+	"csaw/internal/kv"
+	"csaw/internal/obsv"
+	"csaw/internal/serial"
+)
+
+// migrateEndpointPrefix namespaces the per-location migration control
+// endpoints; the NUL byte keeps them outside any legal "instance::junction"
+// name, so programs cannot collide with or address them.
+const migrateEndpointPrefix = "\x00csaw:migrate:"
+
+func migrateEndpoint(loc string) string { return migrateEndpointPrefix + loc }
+
+// junctionState is the serialized form of one junction crossing the wire.
+type junctionState struct {
+	// Table is the whole-table KV export, pending queue included.
+	Table kv.TableState
+	// Idxs and Subsets carry the reconfiguration variables ("" / nil-elems
+	// = undef). Sets are static declarations and are rebuilt from the
+	// program, not transferred.
+	Idxs    map[string]string
+	Subsets map[string]subsetState
+	// Recv carries the per-sender delivery frontiers so the new incarnation
+	// keeps acking each pair's sequence space where the old one left off.
+	Recv map[string]recvState
+}
+
+// subsetState distinguishes an undef subset (Defined=false) from a defined
+// empty one — a nil slice cannot, once serialized.
+type subsetState struct {
+	Defined bool
+	Elems   []string
+}
+
+type recvState struct {
+	Contig uint64
+	OO     []uint64
+}
+
+// exportState deep-copies the junction's transferable state. Callers hold
+// the junction's schedMu, so no scheduling mutates under the copy.
+func (j *Junction) exportState() junctionState {
+	st := junctionState{Table: j.table.SnapshotAll()}
+	j.idxMu.Lock()
+	st.Idxs = make(map[string]string, len(j.idxs))
+	for k, v := range j.idxs {
+		st.Idxs[k] = v
+	}
+	st.Subsets = make(map[string]subsetState, len(j.subsets))
+	for k, v := range j.subsets {
+		ss := subsetState{Defined: v != nil, Elems: append([]string(nil), v...)}
+		st.Subsets[k] = ss
+	}
+	j.idxMu.Unlock()
+	j.recvMu.Lock()
+	st.Recv = make(map[string]recvState, len(j.recvFrom))
+	for from, tr := range j.recvFrom {
+		rs := recvState{Contig: tr.contig}
+		for seq := range tr.oo {
+			rs.OO = append(rs.OO, seq)
+		}
+		sort.Slice(rs.OO, func(a, b int) bool { return rs.OO[a] < rs.OO[b] })
+		st.Recv[from] = rs
+	}
+	j.recvMu.Unlock()
+	return st
+}
+
+// importState installs transferred state into a freshly built junction,
+// before it processes any traffic.
+func (j *Junction) importState(st junctionState) {
+	j.table.RestoreAll(st.Table)
+	j.idxMu.Lock()
+	for k, v := range st.Idxs {
+		if _, ok := j.idxs[k]; ok {
+			j.idxs[k] = v
+		}
+	}
+	for k, v := range st.Subsets {
+		if _, ok := j.subsets[k]; !ok {
+			continue
+		}
+		if !v.Defined {
+			j.subsets[k] = nil
+		} else if v.Elems == nil {
+			j.subsets[k] = []string{}
+		} else {
+			j.subsets[k] = v.Elems
+		}
+	}
+	j.idxMu.Unlock()
+	j.recvMu.Lock()
+	j.recvFrom = make(map[string]*recvTrack, len(st.Recv))
+	for from, rs := range st.Recv {
+		tr := &recvTrack{contig: rs.Contig}
+		if len(rs.OO) > 0 {
+			tr.oo = make(map[uint64]struct{}, len(rs.OO))
+			for _, seq := range rs.OO {
+				tr.oo[seq] = struct{}{}
+			}
+		}
+		j.recvFrom[from] = tr
+	}
+	j.recvMu.Unlock()
+}
+
+// handleMigrateFrame is the destination/source side of the transfer
+// handshake, registered per location at Deployment.bind. State frames stage
+// the blob and ack back over the reverse uplink; ack frames resolve the
+// source's wait.
+func (s *System) handleMigrateFrame(loc string, m compart.Message) {
+	if m.Kind != compart.KindControl {
+		return
+	}
+	switch {
+	case strings.HasPrefix(m.Key, "state:"):
+		fq := strings.TrimPrefix(m.Key, "state:")
+		s.stageMu.Lock()
+		s.staged[fq] = m.Payload
+		s.stageMu.Unlock()
+		srcLoc := strings.TrimPrefix(m.From, migrateEndpointPrefix)
+		_ = s.deploy.uplink(loc, srcLoc)(compart.Message{
+			From: migrateEndpoint(loc),
+			To:   migrateEndpoint(srcLoc),
+			Kind: compart.KindControl,
+			Key:  "ack:" + fq,
+		})
+	case strings.HasPrefix(m.Key, "ack:"):
+		fq := strings.TrimPrefix(m.Key, "ack:")
+		select {
+		case s.migAcks <- fq:
+		default:
+			// No migration waiting (late or duplicate ack): drop.
+		}
+	}
+}
+
+// takeStaged removes and returns a staged transfer blob.
+func (s *System) takeStaged(fq string) ([]byte, bool) {
+	s.stageMu.Lock()
+	defer s.stageMu.Unlock()
+	blob, ok := s.staged[fq]
+	delete(s.staged, fq)
+	return blob, ok
+}
+
+// MigrateInstance moves a running instance to another deployment location,
+// live: in-flight traffic toward the instance is buffered during the
+// transfer and replayed to the new incarnation, acknowledged updates are
+// never lost, and senders keep addressing the same names throughout.
+// Migrating to the instance's current location is a no-op. Pinned instances
+// refuse. On any transfer failure the source resumes untouched and the
+// error is returned.
+func (s *System) MigrateInstance(name, dest string) error {
+	d := s.deploy
+	if d.loc(dest) == nil {
+		return fmt.Errorf("runtime: migrate %q: unknown location %q", name, dest)
+	}
+	if d.Pinned(name) {
+		return fmt.Errorf("runtime: migrate %q: instance is pinned", name)
+	}
+
+	// One migration at a time: concurrent migrations could deadlock on
+	// schedMu ordering and interleave placement flips.
+	s.migrateMu.Lock()
+	defer s.migrateMu.Unlock()
+
+	s.mu.Lock()
+	inst, ok := s.instances[name]
+	if !ok || !inst.running.Load() {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrNotRunning, name)
+	}
+	s.mu.Unlock()
+
+	src := d.LocationOf(name)
+	if src == dest {
+		return nil
+	}
+	srcNet := d.loc(src).net
+	destLoc := d.loc(dest)
+
+	tracing := s.obs.Tracing()
+	begin := time.Now()
+	if tracing {
+		s.obs.Emit(obsv.Event{Kind: obsv.EvMigrateBegin, Junction: name, Key: dest})
+	}
+
+	// --- quiesce ---------------------------------------------------------
+	// Junction order is deterministic (sorted) so a hypothetical second
+	// quiescer could never deadlock against us.
+	names := make([]string, 0, len(inst.junctions))
+	for jn := range inst.junctions {
+		names = append(names, jn)
+	}
+	sort.Strings(names)
+	js := make([]*Junction, 0, len(names))
+	for _, jn := range names {
+		js = append(js, inst.junctions[jn])
+	}
+	for _, j := range js {
+		j.stopDriver()
+	}
+	for _, j := range js {
+		j.schedMu.Lock()
+	}
+	unlockAll := func() {
+		for _, j := range js {
+			j.schedMu.Unlock()
+		}
+	}
+	if tracing {
+		s.obs.Emit(obsv.Event{Kind: obsv.EvMigrateQuiesce, Junction: name, Key: dest, Dur: time.Since(begin)})
+	}
+
+	// --- park + snapshot -------------------------------------------------
+	parked := make([]*compart.Parked, len(js))
+	for i, j := range js {
+		parked[i] = srcNet.Park(j.FQName)
+	}
+	snaps := make([]junctionState, len(js))
+	snapLens := make([]int, len(js))
+	for i, j := range js {
+		snaps[i] = j.exportState()
+		snapLens[i] = len(snaps[i].Table.Pending)
+	}
+
+	abort := func(cause error) error {
+		// Put the source back exactly as it was: parked endpoints release
+		// into the old junction handlers (buffered frames replay in order),
+		// schedulings unblock, drivers restart.
+		for i, j := range js {
+			h, bh := j.endpointHandlers()
+			parked[i].Release(h, bh)
+		}
+		s.stageMu.Lock()
+		for _, j := range js {
+			delete(s.staged, j.FQName)
+		}
+		s.stageMu.Unlock()
+		unlockAll()
+		s.restartDrivers(inst)
+		if tracing {
+			s.obs.Emit(obsv.Event{Kind: obsv.EvMigrateAbort, Junction: name, Key: dest, Err: cause.Error()})
+		}
+		return fmt.Errorf("runtime: migrate %q to %q aborted: %w", name, dest, cause)
+	}
+
+	// --- transfer --------------------------------------------------------
+	// Drain acks a previously aborted migration may have left behind so they
+	// cannot satisfy this round's waits.
+drain:
+	for {
+		select {
+		case <-s.migAcks:
+		default:
+			break drain
+		}
+	}
+	up := d.uplink(src, dest)
+	for i, j := range js {
+		blob, err := serial.Marshal(snaps[i])
+		if err != nil {
+			return abort(fmt.Errorf("encode %s: %w", j.FQName, err))
+		}
+		if tracing {
+			s.obs.Emit(obsv.Event{Kind: obsv.EvMigrateTransfer, Junction: j.FQName, Key: dest, N: int64(len(blob))})
+		}
+		if err := up(compart.Message{
+			From:    migrateEndpoint(src),
+			To:      migrateEndpoint(dest),
+			Kind:    compart.KindControl,
+			Key:     "state:" + j.FQName,
+			Payload: blob,
+		}); err != nil {
+			return abort(fmt.Errorf("transfer %s: %w", j.FQName, err))
+		}
+	}
+	need := make(map[string]bool, len(js))
+	for _, j := range js {
+		need[j.FQName] = true
+	}
+	timer := time.NewTimer(s.opts.AckTimeout)
+	defer timer.Stop()
+	for len(need) > 0 {
+		select {
+		case fq := <-s.migAcks:
+			delete(need, fq)
+		case <-timer.C:
+			var missing []string
+			for fq := range need {
+				missing = append(missing, fq)
+			}
+			sort.Strings(missing)
+			return abort(fmt.Errorf("no transfer ack for %s within %s", strings.Join(missing, ", "), s.opts.AckTimeout))
+		}
+	}
+
+	// --- cutover ---------------------------------------------------------
+	t := s.prog.Types[inst.TypeName]
+	newJs := make(map[string]*Junction, len(js))
+	for i, j := range js {
+		def := t.Junctions[j.def.Name]
+		nj := newJunction(s, inst, def, destLoc.net)
+		blob, ok := s.takeStaged(j.FQName)
+		if !ok {
+			return abort(fmt.Errorf("acked transfer for %s has no staged state", j.FQName))
+		}
+		var st junctionState
+		if err := serial.Unmarshal(blob, &st); err != nil {
+			return abort(fmt.Errorf("decode %s: %w", j.FQName, err))
+		}
+		nj.importState(st)
+		// Delta pass: updates that slipped into the old table between the
+		// snapshot and the park taking effect (a zero-latency handler
+		// resolved before the park) were acknowledged to their senders and
+		// must not be lost. The old table only grows its pending queue while
+		// schedMu is held, so the tail beyond the snapshot is exactly the
+		// late arrivals.
+		if tail := j.table.SnapshotAll().Pending; len(tail) > snapLens[i] {
+			nj.table.EnqueueBatch(tail[snapLens[i]:])
+		}
+		newJs[j.def.Name] = nj
+	}
+	// Destination handlers first, then the placement flip, then the parked
+	// release: every frame replayed through a proxy finds a real handler.
+	// The source location is skipped here — its endpoint stays the parked
+	// buffer until Release installs the forwarding proxy, so no frame can
+	// overtake the buffered ones.
+	for _, nj := range newJs {
+		h, bh := nj.endpointHandlers()
+		destLoc.net.RegisterBatch(nj.FQName, h, bh)
+		d.registerProxiesExcept(dest, src, nj.FQName)
+		s.obs.ResetJunction(nj.FQName)
+		if tracing {
+			s.obs.Emit(obsv.Event{Kind: obsv.EvMigrateCutover, Junction: nj.FQName, Key: dest})
+		}
+	}
+	d.setLoc(name, dest)
+	for i, j := range js {
+		h, bh := d.proxyHandlers(src)
+		parked[i].Release(h, bh)
+		j.moved.Store(true)
+	}
+	s.mu.Lock()
+	inst.junctions = newJs
+	s.mu.Unlock()
+	unlockAll()
+	// Waiters blocked on an old table (InvokeWhenReady subscriptions armed
+	// before the migration) re-check, hit ErrMigrated, and re-resolve.
+	for _, j := range js {
+		j.table.WakeAll()
+	}
+
+	// --- resume ----------------------------------------------------------
+	s.restartDrivers(inst)
+	if tracing {
+		s.obs.Emit(obsv.Event{Kind: obsv.EvMigrateResume, Junction: name, Key: dest, Dur: time.Since(begin)})
+	}
+	return nil
+}
+
+// restartDrivers starts the driver loop of every guarded junction of inst,
+// mirroring the StartInstance policy.
+func (s *System) restartDrivers(inst *Instance) {
+	if s.opts.DisableDrivers {
+		return
+	}
+	s.mu.Lock()
+	js := make([]*Junction, 0, len(inst.junctions))
+	for _, j := range inst.junctions {
+		js = append(js, j)
+	}
+	s.mu.Unlock()
+	for _, j := range js {
+		if j.def.Guard != nil && !j.def.Manual {
+			j.startDriver()
+		}
+	}
+}

@@ -1,0 +1,385 @@
+package runtime
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"csaw/internal/compart"
+	"csaw/internal/dsl"
+	"csaw/internal/formula"
+	"csaw/internal/obsv"
+)
+
+// migProgram: f pushes asserts at g::main, whose guard never fires so the
+// updates accumulate in the pending queue — observable state a migration
+// must carry. g also has an always-invokable tick junction for concurrent
+// workload tests, and an aux junction so multi-junction transfers and
+// mid-transfer aborts have something to fail on.
+func migProgram() *dsl.Program {
+	p := dsl.NewProgram()
+	p.Type("srcT").Junction("push", dsl.Def(nil,
+		dsl.Assert{Target: dsl.J("g", "main"), Prop: dsl.PR("Work")}))
+	tg := p.Type("dstT")
+	tg.Junction("main", dsl.Def(
+		dsl.Decls(dsl.InitProp{Name: "Work", Init: false}, dsl.InitProp{Name: "Go", Init: false}),
+		dsl.Skip{},
+	).Guarded(formula.P("Go")))
+	tg.Junction("tick", dsl.Def(
+		dsl.Decls(dsl.InitProp{Name: "Ticked", Init: false}),
+		dsl.Assert{Prop: dsl.PR("Ticked")}))
+	tg.Junction("aux", dsl.Def(
+		dsl.Decls(dsl.InitProp{Name: "Spare", Init: true}),
+		dsl.Skip{}))
+	p.Instance("f", "srcT").Instance("g", "dstT")
+	p.SetMain(dsl.Par{dsl.Start{Instance: "f"}, dsl.Start{Instance: "g"}})
+	return p
+}
+
+func twoLocDeployment() (*Deployment, *compart.Network, *compart.Network) {
+	netA := compart.NewNetwork(1)
+	netB := compart.NewNetwork(2)
+	dep := NewDeployment().AddLocation("A", netA).AddLocation("B", netB)
+	dep.Place("f", "A").Place("g", "A")
+	return dep, netA, netB
+}
+
+// TestMigrateMovesStateAndTraffic is the end-to-end happy path: pending
+// updates survive the move, post-migration traffic reaches the new location
+// through unchanged sender addressing, and the trace narrates the protocol
+// in order.
+func TestMigrateMovesStateAndTraffic(t *testing.T) {
+	dep, netA, netB := twoLocDeployment()
+	defer netA.Close()
+	defer netB.Close()
+	ring := obsv.NewRingSink(4096)
+	s := mustSystem(t, migProgram(), Options{Deploy: dep, AckTimeout: 10 * time.Second, Trace: ring})
+	defer s.Close()
+	for _, inst := range []string{"f", "g"} {
+		if err := s.StartInstance(inst, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	const before, after = 3, 2
+	for i := 0; i < before; i++ {
+		if err := s.Invoke(ctx, "f", "push"); err != nil {
+			t.Fatalf("pre-migration push %d: %v", i, err)
+		}
+	}
+	jOld, err := s.Junction("g", "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := jOld.Table().PendingLen(); n != before {
+		t.Fatalf("pre-migration pending = %d, want %d", n, before)
+	}
+
+	if err := s.MigrateInstance("g", "B"); err != nil {
+		t.Fatal(err)
+	}
+	if loc := dep.LocationOf("g"); loc != "B" {
+		t.Fatalf("placement says %q after migration, want B", loc)
+	}
+	jNew, err := s.Junction("g", "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jNew == jOld {
+		t.Fatal("migration did not rebuild the junction")
+	}
+	if n := jNew.Table().PendingLen(); n != before {
+		t.Fatalf("post-migration pending = %d, want %d (acknowledged updates lost)", n, before)
+	}
+	if v, err := jNew.Table().Prop("Go"); err != nil || v {
+		t.Fatalf("prop Go = %v, %v after restore", v, err)
+	}
+	if v, err := s.junctionQuiet("g", "aux").Table().Prop("Spare"); err != nil || !v {
+		t.Fatalf("aux prop Spare = %v, %v after restore", v, err)
+	}
+
+	bDeliveredBefore := netB.Stats().Delivered
+	for i := 0; i < after; i++ {
+		if err := s.Invoke(ctx, "f", "push"); err != nil {
+			t.Fatalf("post-migration push %d: %v", i, err)
+		}
+	}
+	if n := jNew.Table().PendingLen(); n != before+after {
+		t.Fatalf("pending = %d after post-migration pushes, want %d", n, before+after)
+	}
+	if netB.Stats().Delivered <= bDeliveredBefore {
+		t.Fatal("post-migration updates never crossed to location B")
+	}
+
+	// The protocol narration must appear in order: begin, quiesce, one
+	// transfer and one cutover per junction, resume; and no abort.
+	var order []obsv.Kind
+	counts := map[obsv.Kind]int{}
+	for _, e := range ring.Events() {
+		switch e.Kind {
+		case obsv.EvMigrateBegin, obsv.EvMigrateQuiesce, obsv.EvMigrateTransfer,
+			obsv.EvMigrateCutover, obsv.EvMigrateResume, obsv.EvMigrateAbort:
+			order = append(order, e.Kind)
+			counts[e.Kind]++
+		}
+	}
+	if counts[obsv.EvMigrateAbort] != 0 {
+		t.Fatalf("unexpected abort in trace: %v", order)
+	}
+	if counts[obsv.EvMigrateBegin] != 1 || counts[obsv.EvMigrateQuiesce] != 1 || counts[obsv.EvMigrateResume] != 1 {
+		t.Fatalf("lifecycle counts off: %v", counts)
+	}
+	if counts[obsv.EvMigrateTransfer] != 3 || counts[obsv.EvMigrateCutover] != 3 {
+		t.Fatalf("per-junction counts off (3 junctions): %v", counts)
+	}
+	rank := map[obsv.Kind]int{obsv.EvMigrateBegin: 0, obsv.EvMigrateQuiesce: 1,
+		obsv.EvMigrateTransfer: 2, obsv.EvMigrateCutover: 3, obsv.EvMigrateResume: 4}
+	for i := 1; i < len(order); i++ {
+		if rank[order[i]] < rank[order[i-1]] {
+			t.Fatalf("protocol events out of order: %v", order)
+		}
+	}
+}
+
+// TestMigrateAbortOnTransferFailure: the destination becoming unreachable
+// mid-transfer (uplink fails after the first state frame) must abort the
+// migration, leave the source running with identical state, and clean the
+// destination's staging area.
+func TestMigrateAbortOnTransferFailure(t *testing.T) {
+	dep, netA, netB := twoLocDeployment()
+	defer netA.Close()
+	defer netB.Close()
+	var sent int
+	dep.Connect("A", "B", func(m compart.Message) error {
+		sent++
+		if sent > 1 {
+			return errors.New("destination unreachable")
+		}
+		return netB.Send(m)
+	})
+	ring := obsv.NewRingSink(4096)
+	s := mustSystem(t, migProgram(), Options{Deploy: dep, AckTimeout: 2 * time.Second, Trace: ring})
+	defer s.Close()
+	for _, inst := range []string{"f", "g"} {
+		if err := s.StartInstance(inst, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for i := 0; i < 3; i++ {
+		if err := s.Invoke(ctx, "f", "push"); err != nil {
+			t.Fatalf("push %d: %v", i, err)
+		}
+	}
+	jBefore, _ := s.Junction("g", "main")
+
+	err := s.MigrateInstance("g", "B")
+	if err == nil {
+		t.Fatal("migration succeeded over a failing uplink")
+	}
+	if loc := dep.LocationOf("g"); loc != "A" {
+		t.Fatalf("aborted migration moved the placement to %q", loc)
+	}
+	jAfter, _ := s.Junction("g", "main")
+	if jAfter != jBefore {
+		t.Fatal("aborted migration replaced the junction")
+	}
+	if n := jAfter.Table().PendingLen(); n != 3 {
+		t.Fatalf("pending = %d after abort, want 3", n)
+	}
+	s.stageMu.Lock()
+	staged := len(s.staged)
+	s.stageMu.Unlock()
+	if staged != 0 {
+		t.Fatalf("%d blobs left staged after abort", staged)
+	}
+	// The source must still serve traffic.
+	if err := s.Invoke(ctx, "f", "push"); err != nil {
+		t.Fatalf("post-abort push: %v", err)
+	}
+	if n := jAfter.Table().PendingLen(); n != 4 {
+		t.Fatalf("pending = %d after post-abort push, want 4", n)
+	}
+	aborts := 0
+	for _, e := range ring.Events() {
+		if e.Kind == obsv.EvMigrateAbort {
+			aborts++
+		}
+	}
+	if aborts != 1 {
+		t.Fatalf("trace has %d migrate.abort events, want 1", aborts)
+	}
+}
+
+// TestMigrateValidation covers the refusal cases: unknown destination,
+// pinned instance, stopped instance, and the same-location no-op.
+func TestMigrateValidation(t *testing.T) {
+	dep, netA, netB := twoLocDeployment()
+	defer netA.Close()
+	defer netB.Close()
+	dep.Pin("f")
+	s := mustSystem(t, migProgram(), Options{Deploy: dep})
+	defer s.Close()
+	if err := s.StartInstance("f", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MigrateInstance("f", "nowhere"); err == nil {
+		t.Fatal("migrated to an unknown location")
+	}
+	if err := s.MigrateInstance("f", "B"); err == nil {
+		t.Fatal("migrated a pinned instance")
+	}
+	if err := s.MigrateInstance("g", "B"); !errors.Is(err, ErrNotRunning) {
+		t.Fatalf("migrating a stopped instance: %v, want ErrNotRunning", err)
+	}
+	if err := s.StartInstance("g", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MigrateInstance("g", "A"); err != nil {
+		t.Fatalf("same-location migration should be a no-op: %v", err)
+	}
+}
+
+// TestInvokeRetriesAcrossMigration: application invocations racing a
+// migration must never observe ErrMigrated — Invoke re-resolves the junction
+// and completes against the new incarnation.
+func TestInvokeRetriesAcrossMigration(t *testing.T) {
+	dep, netA, netB := twoLocDeployment()
+	defer netA.Close()
+	defer netB.Close()
+	s := mustSystem(t, migProgram(), Options{Deploy: dep, AckTimeout: 10 * time.Second})
+	defer s.Close()
+	for _, inst := range []string{"f", "g"} {
+		if err := s.StartInstance(inst, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	stop := make(chan struct{})
+	errs := make(chan error, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := s.Invoke(ctx, "g", "tick"); err != nil {
+				errs <- fmt.Errorf("tick: %w", err)
+				return
+			}
+		}
+	}()
+	for i, dest := range []string{"B", "A", "B"} {
+		if err := s.MigrateInstance("g", dest); err != nil {
+			t.Fatalf("migration %d to %s: %v", i, dest, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+}
+
+// TestStopAndCrashFailPendingWindowsFast: updates in flight toward an
+// instance that is then stopped (or crashed) must fail with ErrPeerDown
+// promptly — the window sweep, not the progress watchdog, resolves them.
+func TestStopAndCrashFailPendingWindowsFast(t *testing.T) {
+	for _, crash := range []bool{false, true} {
+		name := "stop"
+		if crash {
+			name = "crash"
+		}
+		t.Run(name, func(t *testing.T) {
+			net := compart.NewNetwork(1)
+			defer net.Close()
+			s := mustSystem(t, migProgram(), Options{Net: net, AckTimeout: 30 * time.Second})
+			defer s.Close()
+			for _, inst := range []string{"f", "g"} {
+				if err := s.StartInstance(inst, nil); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// The update takes 300ms to arrive; the instance dies at ~50ms,
+			// with the ack timeout far out of reach.
+			net.SetLink("f::push", "g::main", compart.LinkConfig{Latency: 300 * time.Millisecond})
+			done := make(chan error, 1)
+			go func() {
+				done <- s.Invoke(context.Background(), "f", "push")
+			}()
+			time.Sleep(50 * time.Millisecond)
+			start := time.Now()
+			if crash {
+				s.CrashInstance("g")
+			} else if err := s.StopInstance("g"); err != nil {
+				t.Fatal(err)
+			}
+			select {
+			case err := <-done:
+				if !errors.Is(err, ErrPeerDown) {
+					t.Fatalf("in-flight update failed with %v, want ErrPeerDown", err)
+				}
+				if e := time.Since(start); e > 5*time.Second {
+					t.Fatalf("window failure took %v after %s", e, name)
+				}
+			case <-time.After(10 * time.Second):
+				t.Fatalf("in-flight update still pending 10s after %s", name)
+			}
+		})
+	}
+}
+
+// TestDeploymentListingsSorted pins the deterministic ordering of the
+// deployment's listing accessors regardless of insertion order.
+func TestDeploymentListingsSorted(t *testing.T) {
+	cases := []struct {
+		name  string
+		locs  []string
+		insts []string
+	}{
+		{"already-sorted", []string{"a", "b", "c"}, []string{"x", "y"}},
+		{"reverse", []string{"c", "b", "a"}, []string{"y", "x"}},
+		{"interleaved", []string{"edge", "core", "dmz"}, []string{"Fnt", "Bck2", "Bck1"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := NewDeployment()
+			for _, l := range tc.locs {
+				d.AddLocation(l, nil)
+			}
+			for i, inst := range tc.insts {
+				d.Place(inst, tc.locs[i%len(tc.locs)])
+			}
+			locs := d.Locations()
+			for i := 1; i < len(locs); i++ {
+				if locs[i-1] >= locs[i] {
+					t.Fatalf("Locations not sorted: %v", locs)
+				}
+			}
+			if len(locs) != len(tc.locs) {
+				t.Fatalf("Locations = %v, want %d entries", locs, len(tc.locs))
+			}
+			insts := d.Instances()
+			for i := 1; i < len(insts); i++ {
+				if insts[i-1] >= insts[i] {
+					t.Fatalf("Instances not sorted: %v", insts)
+				}
+			}
+			if len(insts) != len(tc.insts) {
+				t.Fatalf("Instances = %v, want %d entries", insts, len(tc.insts))
+			}
+		})
+	}
+}

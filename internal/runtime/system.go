@@ -32,8 +32,14 @@ import (
 // Options configures a System.
 type Options struct {
 	// Net is the substrate network. A fresh in-process network is created
-	// when nil.
+	// when nil. Mutually exclusive with Deploy.
 	Net *compart.Network
+	// Deploy is the multi-location deployment the system runs under
+	// (deploy.go): instances are placed on named locations, each backed by
+	// its own network, with frames between locations carried by uplinks.
+	// Nil builds an implicit single-location deployment around Net,
+	// preserving the one-network behaviour unchanged.
+	Deploy *Deployment
 	// AckTimeout bounds how long a remote update waits for its delivery
 	// acknowledgment when no otherwise[t] deadline is in force.
 	AckTimeout time.Duration
@@ -102,8 +108,11 @@ func (o *Options) fill() {
 // System is a running C-Saw program.
 type System struct {
 	prog *dsl.Program
-	net  *compart.Network
-	opts Options
+	// net is the default location's network (kept for the single-location
+	// accessors); deploy owns the full location set.
+	net    *compart.Network
+	deploy *Deployment
+	opts   Options
 
 	// plan is the program's static lowering, computed once at New; junctions
 	// build their per-start closure compilation on top of it.
@@ -133,6 +142,14 @@ type System struct {
 	driverErrs    map[string]error
 	driverLog     []DriverError
 	driverDropped int
+
+	// Live-migration state (migrate.go): migrateMu serializes migrations;
+	// the staging map and ack channel implement the destination side of the
+	// transfer handshake.
+	migrateMu sync.Mutex
+	stageMu   sync.Mutex
+	staged    map[string][]byte
+	migAcks   chan string
 
 	closed atomic.Bool
 }
@@ -169,13 +186,19 @@ func New(p *dsl.Program, opts Options) (*System, error) {
 		}
 	}
 	opts.fill()
-	net := opts.Net
-	if net == nil {
-		net = compart.NewNetwork(1)
+	dep := opts.Deploy
+	if dep == nil {
+		net := opts.Net
+		if net == nil {
+			net = compart.NewNetwork(1)
+		}
+		dep = NewDeployment().AddLocation("local", net)
+	} else if opts.Net != nil {
+		return nil, errors.New("runtime: Options.Net and Options.Deploy are mutually exclusive")
 	}
 	s := &System{
 		prog:      p,
-		net:       net,
+		deploy:    dep,
 		opts:      opts,
 		plan:      plan.Compile(p),
 		obs:       obsv.NewObserver(),
@@ -183,7 +206,13 @@ func New(p *dsl.Program, opts Options) (*System, error) {
 		apps:      map[string]any{},
 		ackWait:   map[uint64]chan struct{}{},
 		windows:   map[pairKey]*ackWindow{},
+		staged:    map[string][]byte{},
+		migAcks:   make(chan string, 64),
 	}
+	if err := dep.bind(s); err != nil {
+		return nil, err
+	}
+	s.net = dep.defaultLoc().net
 	if opts.Trace != nil {
 		s.obs.SetSink(opts.Trace)
 	}
@@ -197,24 +226,49 @@ func New(p *dsl.Program, opts Options) (*System, error) {
 // benchmarks).
 func (s *System) Plan() *plan.Program { return s.plan }
 
-// Net exposes the substrate network (for fault injection in tests and
-// benchmarks).
+// Net exposes the default location's substrate network (for fault injection
+// in tests and benchmarks). Multi-location deployments address specific
+// locations through Deployment.Net.
 func (s *System) Net() *compart.Network { return s.net }
 
-// TransportStats returns the substrate's network-wide counters (conserved:
-// Sent == Delivered + Dropped + Rejected + LostInFlight at quiescence), so
-// fault-injection experiments can assert on observed transport behaviour.
-func (s *System) TransportStats() compart.Stats { return s.net.Stats() }
+// Deployment exposes the system's placement layer.
+func (s *System) Deployment() *Deployment { return s.deploy }
+
+// TransportStats returns the substrate counters summed across every
+// location network (conserved: Sent == Delivered + Dropped + Rejected +
+// LostInFlight at quiescence — each location conserves individually, so the
+// sum does too), so fault-injection experiments can assert on observed
+// transport behaviour.
+func (s *System) TransportStats() compart.Stats {
+	var total compart.Stats
+	s.deploy.eachNet(func(n *compart.Network) {
+		st := n.Stats()
+		total.Sent += st.Sent
+		total.Delivered += st.Delivered
+		total.Dropped += st.Dropped
+		total.Rejected += st.Rejected
+		total.LostInFlight += st.LostInFlight
+	})
+	return total
+}
 
 // LinkStats returns the substrate counters for the directed link between
-// two junction endpoints ("instance::junction" names).
-func (s *System) LinkStats(from, to string) compart.LinkStats { return s.net.LinkStats(from, to) }
+// two junction endpoints ("instance::junction" names), read from the
+// sending junction's location network — where its Sends are counted.
+func (s *System) LinkStats(from, to string) compart.LinkStats {
+	loc := s.deploy.defaultLoc()
+	if inst, _, ok := strings.Cut(from, "::"); ok {
+		loc = s.deploy.locOf(inst)
+	}
+	return loc.net.LinkStats(from, to)
+}
 
 // PeerUp reports whether a junction endpoint — local or bridged from a
-// remote machine — is currently up at the transport level. For endpoints
-// bridged with compart.BridgeLive this reflects remote heartbeat liveness.
+// remote machine — is currently up at the transport level, checked on the
+// instance's current location network. For endpoints bridged with
+// compart.BridgeLive this reflects remote heartbeat liveness.
 func (s *System) PeerUp(instance, junction string) bool {
-	return s.net.Up(instance + "::" + junction)
+	return s.deploy.locOf(instance).net.Up(instance + "::" + junction)
 }
 
 // Program returns the program the system executes.
@@ -312,15 +366,12 @@ func (s *System) startLocked(name string, args any) error {
 	if s.obs.Tracing() {
 		s.obs.Emit(obsv.Event{Kind: obsv.EvInstanceStart, Junction: name, Key: tn})
 	}
+	loc := s.deploy.locOf(name)
 	for _, jn := range t.JunctionNames() {
 		def := t.Junctions[jn]
-		j := newJunction(s, inst, def)
+		j := newJunction(s, inst, def, loc.net)
 		inst.junctions[jn] = j
-		if s.opts.DisableBatching {
-			s.net.Register(j.FQName, j.handleMessage)
-		} else {
-			s.net.RegisterBatch(j.FQName, j.handleMessage, j.handleBatch)
-		}
+		s.registerEndpoints(j, loc)
 		// A (re)start reinitializes the junction's KV table and opens a new
 		// metrics epoch, so post-restart rates never smear across the crash.
 		s.obs.ResetJunction(j.FQName)
@@ -354,7 +405,8 @@ func (s *System) StopInstance(name string) error {
 	}
 	inst.running.Store(false)
 	for _, j := range inst.junctions {
-		s.net.Deregister(j.FQName)
+		fq := j.FQName
+		s.deploy.eachNet(func(n *compart.Network) { n.Deregister(fq) })
 	}
 	s.mu.Unlock()
 	if s.obs.Tracing() {
@@ -363,6 +415,10 @@ func (s *System) StopInstance(name string) error {
 	for _, j := range inst.junctions {
 		j.stopDriver()
 	}
+	// A stop is deliberate and observable: updates already in flight toward
+	// this instance can never be acknowledged, so fail their windows now
+	// rather than leaving each sender to ride out the progress watchdog.
+	s.failWindowsTo(name)
 	return nil
 }
 
@@ -382,7 +438,8 @@ func (s *System) CrashInstance(name string) {
 		s.obs.Emit(obsv.Event{Kind: obsv.EvInstanceCrash, Junction: name})
 	}
 	for _, j := range inst.junctions {
-		s.net.Crash(j.FQName)
+		fq := j.FQName
+		s.deploy.eachNet(func(n *compart.Network) { n.Crash(fq) })
 		if tracing {
 			s.obs.Emit(obsv.Event{Kind: obsv.EvEndpointDown, Junction: j.FQName})
 		}
@@ -390,6 +447,30 @@ func (s *System) CrashInstance(name string) {
 	s.mu.Unlock()
 	for _, j := range inst.junctions {
 		j.stopDriver()
+	}
+	// Crashed endpoints answer new sends with ErrEndpointDown, but updates
+	// already in flight would otherwise wait out the watchdog; fail their
+	// windows immediately, same as StopInstance.
+	s.failWindowsTo(name)
+}
+
+// failWindowsTo fails every pipelined ack window addressed to a junction of
+// the named instance with ErrPeerDown: the peer is gone (stopped or
+// crashed), so in-flight updates can never be acknowledged. The windows
+// survive (fail clears waiters but keeps the pair's sequence space), so a
+// restarted instance resumes cleanly.
+func (s *System) failWindowsTo(name string) {
+	prefix := name + "::"
+	s.winMu.Lock()
+	var stale []*ackWindow
+	for k, w := range s.windows {
+		if strings.HasPrefix(k.to, prefix) {
+			stale = append(stale, w)
+		}
+	}
+	s.winMu.Unlock()
+	for _, w := range stale {
+		w.fail(fmt.Errorf("%w (%s)", ErrPeerDown, w.to))
 	}
 }
 
@@ -430,12 +511,19 @@ func (s *System) junctionQuiet(instance, junction string) *Junction {
 // Invoke schedules a junction once from application logic: pending updates
 // are applied, the guard is checked (ErrNotSchedulable when not definitely
 // true) and the body runs to completion.
+// Invoke re-resolves and retries when the junction migrated between lookup
+// and scheduling, so callers never observe a transient ErrMigrated.
 func (s *System) Invoke(ctx context.Context, instance, junction string) error {
-	j, err := s.Junction(instance, junction)
-	if err != nil {
-		return err
+	for {
+		j, err := s.Junction(instance, junction)
+		if err != nil {
+			return err
+		}
+		err = j.Schedule(ctx)
+		if !errors.Is(err, ErrMigrated) {
+			return err
+		}
 	}
-	return j.Schedule(ctx)
 }
 
 // InvokeWhenReady blocks until the junction's guard is true (or ctx ends),
@@ -444,6 +532,18 @@ func (s *System) Invoke(ctx context.Context, instance, junction string) error {
 // at all for local-only guards; the interpreter ablation keeps the seed's
 // notify + poll retry loop.
 func (s *System) InvokeWhenReady(ctx context.Context, instance, junction string) error {
+	for {
+		err := s.invokeWhenReadyOnce(ctx, instance, junction)
+		if !errors.Is(err, ErrMigrated) {
+			return err
+		}
+		// The junction migrated mid-wait: its table (and our subscription)
+		// belong to the retired incarnation. Re-resolve and wait on the live
+		// junction's table instead.
+	}
+}
+
+func (s *System) invokeWhenReadyOnce(ctx context.Context, instance, junction string) error {
 	j, err := s.Junction(instance, junction)
 	if err != nil {
 		return err
@@ -515,7 +615,21 @@ func (s *System) Close() {
 			_ = s.StopInstance(inst.Name)
 		}
 	}
-	s.net.Close()
+	s.deploy.eachNet(func(n *compart.Network) { n.Close() })
+}
+
+// registerEndpoints installs a junction's real handlers on its location's
+// network and forwarding proxies under the same name on every other
+// location, so senders always address their local network.
+func (s *System) registerEndpoints(j *Junction, loc *location) {
+	if s.opts.DisableBatching {
+		loc.net.Register(j.FQName, j.handleMessage)
+	} else {
+		loc.net.RegisterBatch(j.FQName, j.handleMessage, j.handleBatch)
+	}
+	if !s.deploy.single() {
+		s.deploy.registerProxies(loc.name, j.FQName)
+	}
 }
 
 // --- remote update plumbing -------------------------------------------------
@@ -748,7 +862,7 @@ func (s *System) sendUpdate(ctx context.Context, j *Junction, to string, kind co
 	body := make([]byte, 8+len(payload))
 	binary.BigEndian.PutUint64(body, seq)
 	copy(body[8:], payload)
-	err := s.net.Send(compart.Message{From: from, To: to, Kind: kind, Key: key, Flag: flag, Payload: body})
+	err := j.net.Send(compart.Message{From: from, To: to, Kind: kind, Key: key, Flag: flag, Payload: body})
 	w.sendMu.Unlock()
 	if err != nil {
 		if w.forget(seq) {
@@ -832,7 +946,7 @@ func (s *System) sendUpdateUnbatched(ctx context.Context, j *Junction, to string
 	body := make([]byte, 8+len(payload))
 	binary.BigEndian.PutUint64(body, seq)
 	copy(body[8:], payload)
-	if err := s.net.Send(compart.Message{From: from, To: to, Kind: kind, Key: key, Flag: flag, Payload: body}); err != nil {
+	if err := j.net.Send(compart.Message{From: from, To: to, Kind: kind, Key: key, Flag: flag, Payload: body}); err != nil {
 		if errors.Is(err, compart.ErrEndpointDown) {
 			return fmt.Errorf("%w (%s)", ErrPeerDown, to)
 		}
@@ -1000,7 +1114,7 @@ func (j *Junction) handleMessage(m compart.Message) {
 			// Seed path: echo the update's own sequence number.
 			var ackBody [8]byte
 			binary.BigEndian.PutUint64(ackBody[:], seq)
-			_ = j.sys.net.Send(compart.Message{
+			_ = j.net.Send(compart.Message{
 				From: j.FQName, To: m.From, Kind: compart.KindControl, Key: "ack", Payload: ackBody[:],
 			})
 			return
@@ -1013,7 +1127,7 @@ func (j *Junction) handleMessage(m compart.Message) {
 		if extra {
 			extras = []uint64{seq}
 		}
-		_ = j.sys.net.Send(compart.Message{
+		_ = j.net.Send(compart.Message{
 			From: j.FQName, To: m.From, Kind: compart.KindControl, Key: "ack", Payload: appendAck(cum, extras),
 		})
 	}
@@ -1092,7 +1206,7 @@ func (j *Junction) handleBatch(msgs []compart.Message) {
 	// Acks leave after the updates are enqueued: a sender's statement must
 	// not complete before its update is visible to the receiving table.
 	for _, pa := range acks {
-		_ = j.sys.net.Send(compart.Message{
+		_ = j.net.Send(compart.Message{
 			From: j.FQName, To: pa.from, Kind: compart.KindControl, Key: "ack", Payload: appendAck(pa.cum, pa.extras),
 		})
 	}
